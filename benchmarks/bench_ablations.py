@@ -1,0 +1,124 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* tie-break policy (the Section 5.2 rule vs alternatives);
+* the two readings of the malleable width rule;
+* first fit vs best fit;
+* negotiated vs conservative admission;
+* Poisson vs bursty arrival robustness of the headline result.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import bench_jobs
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.baselines import ConservativeArbitrator
+from repro.core.malleable import MalleableStrategy
+from repro.core.policies import TieBreakPolicy
+from repro.experiments import ablations
+from repro.sim.arrivals import BurstyArrivals, PoissonArrivals
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import simulate_arrivals
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import run_point
+
+
+def _cfg(**kw):
+    return SweepConfig(n_jobs=bench_jobs(), seed=presets.DEFAULT_SEED, **kw)
+
+
+def test_ablation_policy(benchmark, save_report):
+    def run():
+        return {
+            policy: run_point(_cfg(policy=policy), "tunable")
+            for policy in TieBreakPolicy
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_policy", ablations.ablation_policy(bench_jobs()))
+    paper = results[TieBreakPolicy.PAPER]
+    # The paper's tie-break never hurts throughput vs the naive FIRST rule.
+    assert paper.throughput >= results[TieBreakPolicy.FIRST].throughput - 0.01 * paper.offered
+
+
+def test_ablation_malleable_strategy(benchmark, save_report):
+    def run():
+        return {
+            strategy: run_point(
+                _cfg(malleable=True, strategy=strategy), "tunable"
+            )
+            for strategy in MalleableStrategy
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ablation_malleable", ablations.ablation_malleable_strategy(bench_jobs())
+    )
+    for metrics in results.values():
+        assert metrics.offered == bench_jobs()
+
+
+def test_ablation_fit_rule(benchmark, save_report):
+    report = benchmark.pedantic(
+        lambda: ablations.ablation_fit_rule(300), rounds=1, iterations=1
+    )
+    save_report("ablation_fit", report)
+    assert "first-fit" in report and "best-fit" in report
+
+
+def test_ablation_conservative(benchmark, save_report):
+    cfg = _cfg()
+
+    def run():
+        out = {}
+        for label, cls in (("negotiated", QoSArbitrator), ("conservative", ConservativeArbitrator)):
+            arb = cls(cfg.processors, keep_placements=False)
+            out[label] = simulate_arrivals(
+                arb,
+                lambda i, release: cfg.params.tunable_job(release),
+                PoissonArrivals(cfg.interval, RandomStreams(cfg.seed)),
+                cfg.n_jobs,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_conservative", ablations.ablation_conservative(bench_jobs()))
+    # Trusting the negotiated path strictly beats requiring every path.
+    assert results["negotiated"].throughput > results["conservative"].throughput
+
+
+def test_ablation_bursty(benchmark, save_report):
+    cfg = _cfg()
+
+    def run():
+        out = {}
+        for label, factory in (
+            ("poisson", lambda s: PoissonArrivals(cfg.interval, s)),
+            (
+                "bursty",
+                lambda s: BurstyArrivals(
+                    cfg.interval / 3, cfg.interval * 5 / 3, s
+                ),
+            ),
+        ):
+            row = {}
+            for system in ("tunable", "shape1", "shape2"):
+                arb = QoSArbitrator(cfg.processors, keep_placements=False)
+                job_factory = (
+                    (lambda i, r: cfg.params.tunable_job(r))
+                    if system == "tunable"
+                    else (lambda i, r, s=int(system[-1]): cfg.params.rigid_job(s, r))
+                )
+                row[system] = simulate_arrivals(
+                    arb, job_factory, factory(RandomStreams(cfg.seed)), cfg.n_jobs
+                )
+            out[label] = row
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_bursty", ablations.ablation_bursty(bench_jobs()))
+    # The headline result survives bursty arrivals.
+    for label in ("poisson", "bursty"):
+        row = results[label]
+        assert row["tunable"].throughput >= max(
+            row["shape1"].throughput, row["shape2"].throughput
+        )

@@ -1,0 +1,41 @@
+"""Extension bench: reservation-based admission vs best-effort EDF.
+
+Regenerates the comparison table and asserts the introduction's argument:
+under overload, predictable (admission + reservation) management completes
+at least as many jobs on time as best-effort EDF while never spending
+processor-time on jobs that will miss their deadlines.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.best_effort import (
+    render_best_effort,
+    run_best_effort_comparison,
+)
+
+INTERVALS = (10.0, 20.0, 30.0, 45.0, 60.0, 85.0)
+
+
+def run():
+    return run_best_effort_comparison(intervals=INTERVALS, n_jobs=bench_jobs())
+
+
+def test_best_effort(benchmark, save_report):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("best_effort", render_best_effort(rows))
+
+    overloaded = [r for r in rows if r.interval <= 30.0]
+    assert overloaded, "axis must include overloaded points"
+    for row in overloaded:
+        assert row.reservation_on_time >= row.edf_on_time, (
+            f"best-effort EDF out-performed reservations at interval "
+            f"{row.interval}"
+        )
+        # EDF burns work on jobs it later drops; reservations never do.
+        assert row.edf_wasted_area > 0
+        assert row.edf_goodput_utilization < row.edf_utilization
+
+    # Under light load the two converge (EDF admits everything too).
+    lightest = rows[-1]
+    assert lightest.edf_on_time >= 0.85 * lightest.offered or (
+        lightest.reservation_on_time >= lightest.edf_on_time
+    )

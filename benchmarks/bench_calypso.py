@@ -1,0 +1,63 @@
+"""Calypso runtime benches: step execution overhead and fault-masking cost.
+
+Wall-clock numbers here measure the *runtime machinery* (snapshotting,
+commit, eager scheduling bookkeeping) — not parallel speedup, which the GIL
+forbids measuring meaningfully in CPython (see DESIGN.md).
+"""
+
+import pytest
+
+from repro.calypso.faults import FaultInjector
+from repro.calypso.routine import Routine
+from repro.calypso.runtime import CalypsoRuntime
+from repro.calypso.shared import SharedMemory
+from repro.calypso.step import ParallelStep
+from repro.sim.rng import RandomStreams
+
+N_TASKS = 16
+CHUNK = 500
+
+
+def make_memory():
+    data = list(range(N_TASKS * CHUNK))
+    return SharedMemory(data=data, **{f"p{i}": 0 for i in range(N_TASKS)})
+
+
+def body(view, width, number):
+    data = view["data"]
+    lo = number * len(data) // width
+    hi = (number + 1) * len(data) // width
+    view[f"p{number}"] = sum(data[lo:hi])
+
+
+STEP = ParallelStep((Routine(body, copies=N_TASKS, name="sum"),), name="bench")
+EXPECTED = sum(range(N_TASKS * CHUNK))
+
+
+def _verify(memory):
+    assert sum(memory[f"p{i}"] for i in range(N_TASKS)) == EXPECTED
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_step_execution(benchmark, workers):
+    runtime = CalypsoRuntime(workers=workers)
+
+    def run():
+        memory = make_memory()
+        runtime.execute_step(STEP, memory)
+        return memory
+
+    _verify(benchmark(run))
+
+
+def test_fault_masking_overhead(benchmark):
+    def run():
+        injector = FaultInjector(0.3, RandomStreams(1), max_faults_per_task=4)
+        runtime = CalypsoRuntime(workers=4, fault_injector=injector)
+        memory = make_memory()
+        report = runtime.execute_step(STEP, memory)
+        return memory, report
+
+    memory, report = benchmark(run)
+    _verify(memory)
+    assert report.executions >= report.tasks

@@ -1,0 +1,48 @@
+"""Figure 5(a): utilization & throughput vs mean arrival interval.
+
+Regenerates both series for the tunable system and the two rigid shapes
+and asserts the paper's qualitative claims: tunable >= both shapes across
+the axis, saturation at heavy overload, peak absolute benefit in the middle
+of the axis.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.fig5 import render_fig5
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import run_sweep
+
+INTERVALS = (10.0, 25.0, 40.0, 55.0, 70.0, 85.0)
+
+
+def run():
+    cfg = SweepConfig(n_jobs=bench_jobs(), seed=presets.DEFAULT_SEED)
+    return run_sweep("interval", INTERVALS, cfg)
+
+
+def test_fig5a(benchmark, save_report):
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig5a", render_fig5(sweep, "a"))
+
+    tun_u = sweep.series("tunable", "utilization")
+    tun_t = sweep.series("tunable", "throughput")
+    for shape in ("shape1", "shape2"):
+        for metric, tun_series in (("utilization", tun_u), ("throughput", tun_t)):
+            base = sweep.series(shape, metric)
+            slack = 0.02 * max(max(tun_series), 1)
+            assert all(
+                t >= b - slack for t, b in zip(tun_series, base)
+            ), f"tunable fell below {shape} on {metric}"
+
+    # Saturation at the heavy-overload end of the axis.
+    assert tun_u[0] > 0.95
+
+    # The largest absolute throughput benefit is interior, not at the ends.
+    gaps = [
+        t - max(s1, s2)
+        for t, s1, s2 in zip(
+            tun_t,
+            sweep.series("shape1", "throughput"),
+            sweep.series("shape2", "throughput"),
+        )
+    ]
+    assert max(gaps[1:-1]) >= max(gaps[0], gaps[-1])

@@ -1,0 +1,39 @@
+"""Figure 5(b): sensitivity to laxity.
+
+Asserts: benefit grows with laxity; shape 2 catches up above ~0.6 laxity;
+shape 1 remains handicapped even with very loose deadlines.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.fig5 import render_fig5
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import run_sweep
+
+LAXITIES = (0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+
+
+def run():
+    cfg = SweepConfig(n_jobs=bench_jobs(), seed=presets.DEFAULT_SEED)
+    return run_sweep("laxity", LAXITIES, cfg)
+
+
+def test_fig5b(benchmark, save_report):
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig5b", render_fig5(sweep, "b"))
+
+    tun = sweep.series("tunable", "throughput")
+    s1 = sweep.series("shape1", "throughput")
+    s2 = sweep.series("shape2", "throughput")
+    n = max(tun)
+
+    # Tunable never loses.
+    for base in (s1, s2):
+        assert all(t >= b - 0.02 * n for t, b in zip(tun, base))
+
+    # Benefit over shape1 grows with laxity (compare axis ends).
+    assert (tun[-1] - s1[-1]) > (tun[0] - s1[0])
+
+    # Shape 2 catches up at the highest laxities...
+    assert tun[-1] - s2[-1] <= 0.03 * n
+    # ...while shape 1 stays handicapped even with loose deadlines.
+    assert tun[-1] - s1[-1] > 0.10 * n

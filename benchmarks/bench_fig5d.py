@@ -1,0 +1,40 @@
+"""Figure 5(d): sensitivity to the job shape alpha.
+
+Asserts: clear benefit for small alpha, negligible effect from alpha ~0.625
+upward (where the two task shapes converge), exact equality at alpha = 1.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.fig5 import render_fig5
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import run_sweep
+
+ALPHAS = (0.0625, 0.125, 0.25, 0.5, 0.625, 0.75, 1.0)
+
+
+def run():
+    cfg = SweepConfig(n_jobs=bench_jobs(), seed=presets.DEFAULT_SEED)
+    return run_sweep("alpha", ALPHAS, cfg)
+
+
+def test_fig5d(benchmark, save_report):
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig5d", render_fig5(sweep, "d"))
+
+    tun = sweep.series("tunable", "throughput")
+    s1 = sweep.series("shape1", "throughput")
+    s2 = sweep.series("shape2", "throughput")
+    n = max(tun)
+
+    # Benefit present for small alpha.
+    for i, alpha in enumerate(ALPHAS):
+        if alpha <= 0.5:
+            assert tun[i] > max(s1[i], s2[i]), f"no benefit at alpha={alpha}"
+
+    # Negligible effect at and above the ~0.625 pivot.
+    for i, alpha in enumerate(ALPHAS):
+        if alpha >= 0.625:
+            assert abs(tun[i] - s1[i]) <= 0.02 * n
+
+    # Identical task systems at alpha = 1.
+    assert tun[-1] == s1[-1] == s2[-1]

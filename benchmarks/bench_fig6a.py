@@ -1,0 +1,33 @@
+"""Figure 6(a): throughput benefit of tunability, non-malleable model.
+
+Regenerates the benefit-over-shape1 and benefit-over-shape2 series along
+both axes (arrival interval and laxity) for the rigid task model.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.fig6 import render_fig6, run_fig6_panel
+
+
+def run():
+    return run_fig6_panel(malleable=False, n_jobs=bench_jobs())
+
+
+def test_fig6a(benchmark, save_report):
+    panel = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig6a", render_fig6(panel))
+
+    for axis in ("interval", "laxity"):
+        rows = panel.benefit_rows(axis)
+        n = max(
+            max(m.throughput for m in panel.interval_sweep.rows[v].values())
+            for v in panel.interval_sweep.values
+        )
+        # Benefits are non-negative (within noise) along both axes...
+        for row in rows:
+            assert row["benefit_over_shape1"] >= -0.02 * n
+            assert row["benefit_over_shape2"] >= -0.02 * n
+        # ...and substantial somewhere in the middle of the axis.
+        interior = rows[1:-1]
+        assert any(
+            r["benefit_over_shape1"] > 0.05 * n for r in interior
+        )

@@ -1,0 +1,47 @@
+"""Figure 6(b): throughput benefit of tunability, malleable model.
+
+The paper's finding: "tunability achieves less benefit for malleable tasks
+as compared to non-malleable tasks.  However, for system configurations
+that are moderately overloaded and for jobs that have moderate laxity, the
+tunable task system still yields significant performance improvement."
+This bench regenerates panel (b) AND cross-checks it against panel (a).
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.fig6 import render_fig6, run_fig6_panel
+
+
+def run():
+    return (
+        run_fig6_panel(malleable=False, n_jobs=bench_jobs()),
+        run_fig6_panel(malleable=True, n_jobs=bench_jobs()),
+    )
+
+
+def test_fig6b(benchmark, save_report):
+    rigid, malleable = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig6b", render_fig6(malleable))
+
+    n = max(
+        m.throughput
+        for v in malleable.interval_sweep.values
+        for m in malleable.interval_sweep.rows[v].values()
+    )
+
+    # Less benefit than the rigid model, axis-point by axis-point (sum test
+    # to tolerate noise at individual points).
+    for axis in ("interval", "laxity"):
+        rigid_total = sum(
+            r["benefit_over_shape1"] for r in rigid.benefit_rows(axis)
+        )
+        mall_total = sum(
+            r["benefit_over_shape1"] for r in malleable.benefit_rows(axis)
+        )
+        assert mall_total < rigid_total
+
+    # Still significant at moderate overload / moderate laxity.
+    mid_interval = malleable.benefit_rows("interval")[2]
+    assert mid_interval["benefit_over_shape1"] > 0.02 * n
+    assert mid_interval["benefit_over_shape2"] > 0.02 * n
+    mid_laxity = malleable.benefit_rows("laxity")[3]
+    assert mid_laxity["benefit_over_shape2"] > 0.02 * n

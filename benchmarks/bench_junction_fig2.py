@@ -1,0 +1,36 @@
+"""Figure 2: junction-detection configurations and their resource trade-off.
+
+Profiles the fine and coarse configurations over a set of synthetic images
+and asserts the quantitative content of the figure: coarse sampling cuts
+step-1 work by about the granularity ratio, inflates step-3 work, and holds
+broadly comparable output quality.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.junction_fig2 import render_fig2, run_fig2
+
+
+def run():
+    return run_fig2(n_images=5, size=128, n_junctions=6)
+
+
+def test_fig2(benchmark, save_report):
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig2", render_fig2(rows))
+
+    fine, coarse = rows
+    granularity_ratio = coarse.granularity / fine.granularity  # 4x
+
+    # Step 1 cost drops by the sampling ratio.
+    assert fine.step1_work / coarse.step1_work > granularity_ratio * 0.9
+
+    # Step 3 cost grows substantially (the compensation).
+    assert coarse.step3_work > 1.5 * fine.step3_work
+
+    # Whole-job resource areas differ: the trade-off moves work across
+    # steps, it does not keep areas identical (our profiles are honest).
+    assert coarse.total_area != fine.total_area
+
+    # Comparable-but-lower quality on the coarse path.
+    assert coarse.f1 > 0.4 * fine.f1
+    assert fine.f1 > 0.4

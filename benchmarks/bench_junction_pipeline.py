@@ -1,0 +1,47 @@
+"""Junction-detection pipeline benches: per-step and end-to-end cost.
+
+These are the numbers a deployment would profile to build the QoS agent's
+resource table (Section 3.2 assumes them measured offline on training
+images).
+"""
+
+import pytest
+
+from repro.apps.junction.detect import detect_junctions, harris_response
+from repro.apps.junction.image import synthetic_image
+from repro.apps.junction.regions import mark_regions
+from repro.apps.junction.sampling import sample_image
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(size=256, n_junctions=10, seed=31)
+
+
+def test_step1_sampling(benchmark, image):
+    result = benchmark(lambda: sample_image(image.pixels, 16))
+    assert result.sampled_count > 0
+
+
+def test_step2_regions(benchmark, image):
+    points = sample_image(image.pixels, 16).points
+
+    regions = benchmark(
+        lambda: mark_regions(points, 5.0, image.pixels.shape)
+    )
+    assert regions
+
+
+def test_step3_harris(benchmark, image):
+    response = benchmark(lambda: harris_response(image.pixels, window=5))
+    assert response.shape == image.pixels.shape
+
+
+@pytest.mark.parametrize(
+    "granularity,distance", [(16, 5.0), (64, 20.0)], ids=["fine", "coarse"]
+)
+def test_full_pipeline(benchmark, image, granularity, distance):
+    result = benchmark(
+        lambda: detect_junctions(image.pixels, granularity, distance)
+    )
+    assert result.work.total > 0

@@ -1,0 +1,70 @@
+"""Scheduler micro-benchmarks (not in the paper; engineering baselines).
+
+Times the hot-path primitives on a realistically fragmented profile:
+reserve/release, earliest-fit search, maximal-hole enumeration, and
+whole-job admission.
+"""
+
+import pytest
+
+from repro.core.first_fit import earliest_fit
+from repro.core.greedy import GreedyScheduler
+from repro.core.holes import maximal_holes
+from repro.core.profile import AvailabilityProfile
+from repro.core.schedule import Schedule
+from repro.sim.rng import RandomStreams
+from repro.workloads.synthetic import SyntheticParams
+
+
+def fragmented_profile(capacity=16, n_reservations=200, seed=3):
+    rng = RandomStreams(seed).python("frag")
+    profile = AvailabilityProfile(capacity)
+    for _ in range(n_reservations):
+        t0 = rng.uniform(0, 1000)
+        dur = rng.uniform(1, 30)
+        avail = profile.min_available(t0, t0 + dur)
+        if avail > 0:
+            profile.reserve(t0, t0 + dur, rng.randint(1, avail))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return fragmented_profile()
+
+
+def test_reserve_release(benchmark, profile):
+    p = profile.copy()
+    start = earliest_fit(p, 1, 30.0, 0.0)
+    assert start is not None
+
+    def op():
+        p.reserve(start, start + 30.0, 1)
+        p.release(start, start + 30.0, 1)
+
+    benchmark(op)
+
+
+def test_earliest_fit(benchmark, profile):
+    result = benchmark(lambda: earliest_fit(profile, 8, 25.0, 0.0))
+    assert result is not None
+
+
+def test_maximal_holes(benchmark, profile):
+    holes = benchmark(lambda: maximal_holes(profile, horizon=1100.0))
+    assert holes
+
+
+def test_admit_tunable_job(benchmark):
+    params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+
+    def admit():
+        schedule = Schedule(16)
+        scheduler = GreedyScheduler(schedule)
+        placed = 0
+        for i in range(20):
+            if scheduler.schedule_job(params.tunable_job(release=30.0 * i)):
+                placed += 1
+        return placed
+
+    assert benchmark(admit) > 0

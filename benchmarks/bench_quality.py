@@ -1,0 +1,34 @@
+"""Extension bench: quality degradation under load (tiered workload).
+
+Regenerates the degradation table and asserts its shape: achieved-quality
+ratio falls smoothly as load rises, with the premium tier's share of
+admissions shrinking first.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.quality import render_quality, run_quality_degradation
+
+INTERVALS = (15.0, 30.0, 45.0, 60.0, 85.0)
+
+
+def run():
+    return run_quality_degradation(intervals=INTERVALS, n_jobs=bench_jobs())
+
+
+def test_quality_degradation(benchmark, save_report):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("quality", render_quality(points))
+
+    for objective in ("max-quality", "earliest-finish"):
+        series = [p for p in points if p.objective == objective]
+        ratios = [p.quality_ratio for p in series]
+        # Graceful degradation: monotone in offered headroom.
+        assert ratios == sorted(ratios)
+        # Light load approaches full quality; heavy load sheds >30% of it.
+        assert ratios[-1] > 0.85
+        assert ratios[0] < 0.7 * ratios[-1]
+        # Premium share of admissions grows with headroom.
+        shares = [
+            p.tier_usage["premium"] / p.admitted for p in series if p.admitted
+        ]
+        assert shares[-1] > shares[0]

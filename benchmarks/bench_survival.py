@@ -1,0 +1,39 @@
+"""Extension bench: job survival across a capacity drop.
+
+Regenerates the survival table and asserts the tunability claim: at
+moderate drops the tunable system keeps the largest fraction of affected
+jobs, and it is the only system whose jobs survive by switching execution
+paths.
+"""
+
+from benchmarks.conftest import bench_jobs
+from repro.experiments.survival import render_survival, run_survival
+
+CAPACITIES = (24, 20, 16, 12)
+
+
+def run():
+    return run_survival(new_capacities=CAPACITIES, n_jobs=min(bench_jobs(), 800))
+
+
+def test_survival(benchmark, save_report):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("survival", render_survival(points))
+
+    by = {(p.system, p.new_capacity): p for p in points}
+
+    # Moderate drops: tunable >= both rigid shapes, strictly better than at
+    # least one, and its survivors include genuine path switches.
+    for capacity in (20, 16):
+        tun = by[("tunable", capacity)]
+        s1 = by[("shape1", capacity)]
+        s2 = by[("shape2", capacity)]
+        assert tun.survival_rate >= s1.survival_rate - 1e-9
+        assert tun.survival_rate >= s2.survival_rate - 1e-9
+        assert tun.survival_rate > min(s1.survival_rate, s2.survival_rate)
+        assert tun.path_switches > 0
+
+    # A drop below the tall task's width strands every system (rigid tasks
+    # cannot shrink; Section 5.4's malleable model is the remedy).
+    for system in ("tunable", "shape1", "shape2"):
+        assert by[(system, 12)].survival_rate < 0.1

@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure of the paper (see
+DESIGN.md's per-experiment index): it runs the experiment inside
+pytest-benchmark (timing the regeneration), prints the same rows/series the
+paper reports, asserts the qualitative shape, and archives the rendered
+report under ``results/``.
+
+Scale: benchmarks default to ``REPRO_BENCH_JOBS`` arrivals per point
+(default 600) so the whole suite completes in minutes; set
+``REPRO_FULL_SCALE=1`` for the paper's 10,000 (expect ~1-2 hours for the
+full set).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def bench_jobs(default: int = 600) -> int:
+    """Arrivals per sweep point for benchmark runs."""
+    if os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false", "False"):
+        return 10_000
+    return int(os.environ.get("REPRO_BENCH_JOBS", default))
+
+
+@pytest.fixture
+def save_report():
+    """Persist a rendered report under results/<name>.txt and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text)
+        print(f"\n[{name}] report saved to {path}")
+        print(text)
+
+    return _save

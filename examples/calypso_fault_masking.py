@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Calypso execution semantics: CREW, two-phase commit, fault masking.
+
+Demonstrates the execution substrate the paper builds on (§2): a parallel
+reduction runs as a Calypso parallel step under increasingly hostile fault
+injection, and the committed result never changes — eager scheduling and
+two-phase idempotent execution mask every injected fault.
+
+Run:  python examples/calypso_fault_masking.py
+"""
+
+from repro.calypso import (
+    CalypsoRuntime,
+    FaultInjector,
+    ParallelStep,
+    Routine,
+    SharedMemory,
+)
+from repro.sim.rng import RandomStreams
+
+N_CHUNKS = 8
+CHUNK = 1000
+
+
+def make_memory() -> SharedMemory:
+    data = list(range(N_CHUNKS * CHUNK))
+    slots = {f"partial_{i}": 0 for i in range(N_CHUNKS)}
+    return SharedMemory(data=data, **slots)
+
+
+def partial_sum(view, width, number):
+    data = view["data"]
+    lo = number * len(data) // width
+    hi = (number + 1) * len(data) // width
+    view[f"partial_{number}"] = sum(data[lo:hi])
+
+
+def main() -> None:
+    expected = sum(range(N_CHUNKS * CHUNK))
+    step = ParallelStep((Routine(partial_sum, copies=N_CHUNKS, name="sum"),),
+                        name="parallel-reduce")
+
+    print(f"{'fault prob':>10} {'executions':>10} {'masked':>7} {'overhead':>8} {'correct':>7}")
+    for probability in (0.0, 0.2, 0.5, 0.8):
+        injector = (
+            FaultInjector(probability, RandomStreams(2024), max_faults_per_task=6)
+            if probability
+            else None
+        )
+        runtime = CalypsoRuntime(workers=4, fault_injector=injector)
+        memory = make_memory()
+        report = runtime.execute_step(step, memory)
+        total = sum(memory[f"partial_{i}"] for i in range(N_CHUNKS))
+        print(
+            f"{probability:>10.1f} {report.executions:>10} "
+            f"{report.faults_masked:>7} {report.overhead_ratio:>8.2f} "
+            f"{str(total == expected):>7}"
+        )
+    print()
+    print(
+        "Every row commits the identical result: faulted executions are "
+        "re-queued and re-executed; the first completed execution of each "
+        "logical task wins (exactly-once commit)."
+    )
+
+
+if __name__ == "__main__":
+    main()

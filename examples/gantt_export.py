@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Export a committed schedule as an SVG Gantt chart.
+
+Admits a burst of tunable jobs, derives the concrete processor assignment
+("which processors will execute which application tasks and for what time",
+§3.1), and writes results/schedule.svg — open it in any browser; hover a
+rectangle for the job/task/interval tooltip.
+
+Run:  python examples/gantt_export.py
+"""
+
+from pathlib import Path
+
+from repro import QoSArbitrator, SyntheticParams
+from repro.analysis.svg import render_svg_gantt
+from repro.core.assignment import assign_processors
+
+
+def main() -> None:
+    params = SyntheticParams(x=4, t=10.0, alpha=0.5, laxity=0.6)
+    arbitrator = QoSArbitrator(capacity=8)
+    for i in range(10):
+        arbitrator.submit(params.tunable_job(release=6.0 * i))
+
+    slices = assign_processors(arbitrator.schedule)
+    print(
+        f"admitted {arbitrator.admitted} jobs -> "
+        f"{len(slices)} processor-slices on {arbitrator.capacity} processors"
+    )
+
+    svg = render_svg_gantt(
+        arbitrator.schedule,
+        title=f"Figure-4 jobs on {arbitrator.capacity} processors "
+        f"(utilization {arbitrator.utilization():.2f})",
+    )
+    out = Path(__file__).resolve().parent.parent / "results" / "schedule.svg"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(svg)
+    print(f"wrote {out} ({len(svg)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Renegotiation after a capacity drop (§3.1's dynamic scenario).
+
+Admits a batch of tunable jobs, then halves the machine at a chosen
+instant.  Completed work is untouched; running reservations that still fit
+are carried; not-yet-started jobs are renegotiated on the smaller machine —
+and, being tunable, several are re-admitted on a *different* execution path
+than originally granted.
+
+Run:  python examples/renegotiation.py
+"""
+
+from repro import QoSArbitrator, SyntheticParams
+from repro.qos import CapacityChange, renegotiate
+
+
+def main() -> None:
+    params = SyntheticParams(x=8, t=10.0, alpha=0.5, laxity=0.6)
+    arbitrator = QoSArbitrator(capacity=16)
+
+    jobs = {}
+    for i in range(12):
+        job = params.tunable_job(release=6.0 * i)
+        jobs[job.job_id] = job
+        arbitrator.submit(job)
+    print(
+        f"before the fault: {arbitrator.admitted} admitted, "
+        f"{arbitrator.rejected} rejected on 16 processors"
+    )
+
+    change = CapacityChange(time=30.0, new_capacity=8)
+    result = renegotiate(arbitrator.schedule, change, jobs)
+
+    print(f"capacity drops to {change.new_capacity} at t={change.time}:")
+    print(f"  finished before the drop : {len(result.finished)}")
+    print(f"  carried across the drop  : {len(result.carried)}")
+    print(f"  re-admitted afterwards   : {len(result.reallocated)}")
+    print(f"  switched execution path  : {result.path_switches}")
+    print(f"  dropped                  : {len(result.dropped)}")
+
+    for old, new in result.reallocated:
+        marker = "  <- PATH SWITCH" if old.chain_index != new.chain_index else ""
+        print(
+            f"    job {old.job_id}: chain {old.chain_index} "
+            f"(finish {old.finish:g}) -> chain {new.chain_index} "
+            f"(finish {new.finish:g}){marker}"
+        )
+
+
+if __name__ == "__main__":
+    main()

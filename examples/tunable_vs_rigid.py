@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Reproduce the paper's headline comparison at one operating point.
+
+Runs the tunable task system and both rigid shapes through identical
+Poisson arrival sequences (common random numbers) at the documented default
+operating point, then prints the throughput/utilization comparison and an
+interval sweep chart — a miniature Figure 5(a).
+
+Run:  python examples/tunable_vs_rigid.py        (2,000 arrivals per point)
+      REPRO_FULL_SCALE=1 python examples/...     (the paper's 10,000)
+"""
+
+from repro.analysis.plots import sweep_chart
+from repro.analysis.tables import format_sweep
+from repro.workloads import SweepConfig, presets, run_point, run_sweep
+
+
+def main() -> None:
+    config = SweepConfig(n_jobs=presets.n_jobs(None))
+    print(
+        f"operating point: P={config.processors}, interval={config.interval}, "
+        f"x={config.params.x}, t={config.params.t}, alpha={config.params.alpha}, "
+        f"laxity={config.params.laxity}, n_jobs={config.n_jobs}"
+    )
+    print(
+        f"offered load: {config.params.offered_load(config.processors, config.interval):.2f}"
+    )
+    print()
+    for system in ("tunable", "shape1", "shape2"):
+        m = run_point(config, system)
+        print(
+            f"{system:>8}: throughput={m.throughput:5d}  "
+            f"utilization={m.utilization:.3f}  mean_response={m.mean_response:6.1f}  "
+            f"paths={dict(m.chain_usage)}"
+        )
+
+    print()
+    print("interval sweep (coarse grid):")
+    sweep = run_sweep("interval", (10.0, 25.0, 40.0, 55.0, 70.0, 85.0), config)
+    print(format_sweep(sweep, "throughput", precision=0))
+    print(sweep_chart(sweep, "throughput"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Soft real-time video pipeline: graceful degradation under load.
+
+The paper's introduction motivates tunability with media processing: "an
+application that is trying to analyze a live video feed ... needs to
+complete its processing by the time the next frame arrives."  This example
+feeds periodic frames — each a tunable job with a full-quality and a
+degraded analysis path — through arbitrators at several machine sizes, and
+compares a quality-aware arbitrator against a plain earliest-finish one.
+
+Run:  python examples/video_pipeline.py
+"""
+
+from repro.apps.video import FrameSpec, run_pipeline
+
+
+def main() -> None:
+    spec = FrameSpec()
+    print(
+        f"frame paths: full={spec.analyze_full} q=1.0 | "
+        f"degraded={spec.analyze_degraded} q={spec.degraded_quality}"
+    )
+    header = (
+        f"{'procs':>5} {'aware':>6} {'on-time':>8} {'full':>5} "
+        f"{'degraded':>8} {'dropped':>7} {'quality':>7} {'util':>5}"
+    )
+    print(header)
+    print("-" * len(header))
+    for processors in (16, 12, 10, 8):
+        for quality_aware in (True, False):
+            report = run_pipeline(
+                processors=processors,
+                n_frames=300,
+                period=2.0,
+                jitter=0.5,
+                spec=spec,
+                quality_aware=quality_aware,
+            )
+            print(
+                f"{processors:>5} {str(quality_aware):>6} "
+                f"{report.on_time_rate:>8.2f} {report.full_quality_frames:>5} "
+                f"{report.degraded_frames:>8} {report.dropped:>7} "
+                f"{report.mean_quality:>7.2f} {report.utilization:>5.2f}"
+            )
+    print()
+    print(
+        "Reading: the earliest-finish arbitrator degrades every frame (the\n"
+        "degraded path always finishes first) no matter how large the machine;\n"
+        "the quality-aware arbitrator holds full quality while capacity allows\n"
+        "and degrades selectively — though on the smallest machine its greed\n"
+        "for full-quality frames can starve later arrivals, the classic\n"
+        "quality-vs-admission tension of Section 5.1's 'in practice' remark."
+    )
+
+
+if __name__ == "__main__":
+    main()

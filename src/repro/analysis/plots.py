@@ -1,0 +1,84 @@
+"""ASCII line charts for sweep results.
+
+Offline-friendly stand-ins for the paper's figure plots: multiple series
+over a shared x axis, one glyph per series, rendered into a character
+grid.  These are for eyeballing trends in terminals and CI logs; the
+numbers themselves live in the tables.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_chart", "sweep_chart"]
+
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+) -> str:
+    """Plot ``series`` (name → y values over shared ``x``) as ASCII art."""
+    if not x or not series:
+        raise ConfigurationError("ascii_chart needs x values and one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ConfigurationError(
+                f"series {name!r} has {len(ys)} points for {len(x)} x values"
+            )
+    all_y = [y for ys in series.values() for y in ys if not math.isnan(y)]
+    if not all_y:
+        raise ConfigurationError("all series values are NaN")
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, ys) in enumerate(series.items()):
+        glyph = _GLYPHS[si % len(_GLYPHS)]
+        for xv, yv in zip(x, ys):
+            if math.isnan(yv):
+                continue
+            col = round((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_lo:g}, {y_hi:g}]")
+    for row in grid:
+        lines.append("|" + "".join(row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"x: [{x_lo:g}, {x_hi:g}]")
+    legend = "  ".join(
+        f"{_GLYPHS[i % len(_GLYPHS)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines) + "\n"
+
+
+def sweep_chart(
+    sweep: "object", metric: str = "throughput", title: str = "", **kwargs: int
+) -> str:
+    """Chart one metric of a :class:`~repro.workloads.sweep.SweepResult`."""
+    series = {
+        system: sweep.series(system, metric)  # type: ignore[attr-defined]
+        for system in sweep.systems  # type: ignore[attr-defined]
+    }
+    return ascii_chart(
+        list(sweep.values),  # type: ignore[attr-defined]
+        series,
+        title=title or f"{metric} vs {sweep.axis}",  # type: ignore[attr-defined]
+        **kwargs,
+    )

@@ -1,0 +1,112 @@
+"""Markdown report generation from experiment results.
+
+Renders sweep results and comparison rows into the markdown shapes used by
+EXPERIMENTS.md, so regenerated runs can be diffed against the committed
+record.  Also provides a JSON round-trip for archiving raw numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigurationError
+from repro.workloads.sweep import SweepResult
+
+__all__ = [
+    "sweep_to_markdown",
+    "sweep_to_json",
+    "sweep_from_json_summary",
+    "benefit_summary",
+]
+
+
+def sweep_to_markdown(
+    sweep: SweepResult, metric: str = "throughput", precision: int = 3
+) -> str:
+    """One metric of a sweep as a GitHub-flavoured markdown table."""
+    header = [sweep.axis, *sweep.systems]
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "|".join("---" for _ in header) + "|",
+    ]
+    for value in sweep.values:
+        cells = [format(value, "g")]
+        for system in sweep.systems:
+            raw = sweep.rows[value][system].as_dict()[metric]
+            cells.append(
+                format(raw, f".{precision}f") if isinstance(raw, float) else str(raw)
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+def sweep_to_json(sweep: SweepResult) -> str:
+    """Archive a sweep's full metric set as JSON text."""
+    payload = {
+        "axis": sweep.axis,
+        "values": list(sweep.values),
+        "systems": list(sweep.systems),
+        "metrics": {
+            format(value, "g"): {
+                system: sweep.rows[value][system].as_dict()
+                for system in sweep.systems
+            }
+            for value in sweep.values
+        },
+        "config": {
+            "processors": sweep.config.processors,
+            "interval": sweep.config.interval,
+            "n_jobs": sweep.config.n_jobs,
+            "seed": sweep.config.seed,
+            "malleable": sweep.config.malleable,
+            "x": sweep.config.params.x,
+            "t": sweep.config.params.t,
+            "alpha": sweep.config.params.alpha,
+            "laxity": sweep.config.params.laxity,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def sweep_from_json_summary(text: str) -> dict[str, object]:
+    """Parse an archived sweep back into a plain summary dict.
+
+    Returns the decoded payload after structural validation (axis, values,
+    systems, metrics keys present and consistent); raw
+    :class:`~repro.sim.metrics.RunMetrics` are *not* reconstructed — the
+    summary is for diffing and plotting, not resumption.
+    """
+    payload = json.loads(text)
+    for key in ("axis", "values", "systems", "metrics", "config"):
+        if key not in payload:
+            raise ConfigurationError(f"archived sweep missing key {key!r}")
+    for value in payload["values"]:
+        bucket = payload["metrics"].get(format(value, "g"))
+        if bucket is None:
+            raise ConfigurationError(f"archived sweep missing value {value!r}")
+        for system in payload["systems"]:
+            if system not in bucket:
+                raise ConfigurationError(
+                    f"archived sweep missing system {system!r} at {value!r}"
+                )
+    return payload
+
+
+def benefit_summary(
+    sweep: SweepResult, metric: str = "throughput"
+) -> list[dict[str, float]]:
+    """Per-value benefit rows (tunable − each rigid shape) for a sweep."""
+    if "tunable" not in sweep.systems:
+        raise ConfigurationError("benefit_summary needs the tunable system")
+    rows = []
+    for value in sweep.values:
+        tun = float(sweep.rows[value]["tunable"].as_dict()[metric])
+        row: dict[str, float] = {sweep.axis: value, "tunable": tun}
+        for system in sweep.systems:
+            if system == "tunable":
+                continue
+            base = float(sweep.rows[value][system].as_dict()[metric])
+            row[f"benefit_over_{system}"] = tun - base
+        rows.append(row)
+    return rows

@@ -1,0 +1,124 @@
+"""SVG Gantt rendering of committed schedules.
+
+A stdlib-only SVG writer: time on the x axis, one row per *physical
+processor* (via :func:`repro.core.assignment.assign_processors`), one
+colored rectangle per task slice, colored by job.  Produces self-contained
+SVG text suitable for writing to a file and opening in any browser — the
+offline counterpart of the ASCII charts.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+
+from repro.core.assignment import assign_processors
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+
+__all__ = ["render_svg_gantt"]
+
+#: Job colors cycle through a colorblind-safe palette.
+_PALETTE = (
+    "#4477AA",
+    "#EE6677",
+    "#228833",
+    "#CCBB44",
+    "#66CCEE",
+    "#AA3377",
+    "#BBBBBB",
+)
+
+_ROW_H = 22
+_MARGIN_LEFT = 56
+_MARGIN_TOP = 30
+_MARGIN_BOTTOM = 34
+
+
+@dataclass(frozen=True, slots=True)
+class _Geometry:
+    t0: float
+    t1: float
+    width: int
+
+    def x(self, t: float) -> float:
+        return _MARGIN_LEFT + (t - self.t0) / (self.t1 - self.t0) * self.width
+
+
+def render_svg_gantt(
+    schedule: Schedule,
+    width: int = 900,
+    title: str = "",
+) -> str:
+    """Render the schedule as an SVG document string.
+
+    Raises :class:`~repro.errors.ConfigurationError` on an empty schedule
+    (nothing to draw) or a non-positive width.
+    """
+    if width <= 0:
+        raise ConfigurationError(f"width must be positive, got {width}")
+    slices = assign_processors(schedule)
+    if not slices:
+        raise ConfigurationError("cannot render an empty schedule")
+
+    t0 = min(s.start for s in slices)
+    t1 = max(s.end for s in slices)
+    if t1 <= t0:
+        t1 = t0 + 1.0
+    geo = _Geometry(t0, t1, width)
+    rows = schedule.capacity
+    height = _MARGIN_TOP + rows * _ROW_H + _MARGIN_BOTTOM
+
+    parts: list[str] = []
+    parts.append(
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{_MARGIN_LEFT + width + 16}" height="{height}" '
+        f'font-family="monospace" font-size="11">'
+    )
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN_LEFT}" y="16" font-size="13">'
+            f"{html.escape(title)}</text>"
+        )
+
+    # Row backgrounds and labels.
+    for proc in range(rows):
+        y = _MARGIN_TOP + proc * _ROW_H
+        fill = "#f6f6f6" if proc % 2 else "#ededed"
+        parts.append(
+            f'<rect x="{_MARGIN_LEFT}" y="{y}" width="{width}" '
+            f'height="{_ROW_H}" fill="{fill}"/>'
+        )
+        parts.append(
+            f'<text x="6" y="{y + _ROW_H - 7}">p{proc}</text>'
+        )
+
+    # Task slices.
+    for s in slices:
+        x = geo.x(s.start)
+        w = max(geo.x(s.end) - x, 1.0)
+        y = _MARGIN_TOP + s.processor * _ROW_H + 2
+        color = _PALETTE[s.job_id % len(_PALETTE)]
+        label = html.escape(f"job {s.job_id} {s.task} [{s.start:g},{s.end:g})")
+        parts.append(
+            f'<rect x="{x:.2f}" y="{y}" width="{w:.2f}" height="{_ROW_H - 4}" '
+            f'fill="{color}" stroke="#333" stroke-width="0.5">'
+            f"<title>{label}</title></rect>"
+        )
+
+    # Time axis: ~8 ticks at round-ish positions.
+    n_ticks = 8
+    axis_y = _MARGIN_TOP + rows * _ROW_H
+    for i in range(n_ticks + 1):
+        t = t0 + (t1 - t0) * i / n_ticks
+        x = geo.x(t)
+        parts.append(
+            f'<line x1="{x:.2f}" y1="{axis_y}" x2="{x:.2f}" '
+            f'y2="{axis_y + 5}" stroke="#333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.2f}" y="{axis_y + 18}" text-anchor="middle">'
+            f"{t:g}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,1 @@
+"""Tunable example applications built on the repro library."""

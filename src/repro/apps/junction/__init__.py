@@ -1,0 +1,49 @@
+"""Junction detection (Section 3.2) — the paper's tunable application.
+
+"The junction detection application detects distinguished pixels in an
+image where the intensity or color changes abruptly. ... Our junction
+detection algorithm consists of three steps": parallel pixel sampling with
+a quick interest test; region-of-interest construction (convex hulls around
+clusters of interesting pixels); and a compute-intensive per-pixel analysis
+inside the regions.  Tunability: coarser sampling (cheaper step 1) is
+compensated by a larger search distance and therefore larger/more regions
+(more expensive step 3).
+
+The paper used live images and profiled resource tables; we substitute a
+synthetic image generator with planted ground-truth junctions
+(:mod:`repro.apps.junction.image`) so output *quality* is measurable, and
+derive the resource tables by profiling the actual pipeline
+(:mod:`repro.apps.junction.tunable`).
+"""
+
+from repro.apps.junction.image import JunctionImage, synthetic_image
+from repro.apps.junction.sampling import sample_image, SampleResult
+from repro.apps.junction.regions import Region, mark_regions
+from repro.apps.junction.detect import JunctionResult, detect_junctions, harris_response
+from repro.apps.junction.quality import match_quality, QualityReport
+from repro.apps.junction.tunable import (
+    JunctionConfig,
+    ProfiledStep,
+    profile_configuration,
+    junction_program,
+    DEFAULT_CONFIGS,
+)
+
+__all__ = [
+    "JunctionImage",
+    "synthetic_image",
+    "sample_image",
+    "SampleResult",
+    "Region",
+    "mark_regions",
+    "JunctionResult",
+    "detect_junctions",
+    "harris_response",
+    "match_quality",
+    "QualityReport",
+    "JunctionConfig",
+    "ProfiledStep",
+    "profile_configuration",
+    "junction_program",
+    "DEFAULT_CONFIGS",
+]

@@ -1,0 +1,335 @@
+"""The tunable junction-detection program (Sections 3.2 and 4.3, Fig. 3).
+
+Builds the :class:`~repro.lang.program.TunableProgram` whose structure
+mirrors Figure 3: control parameters ``sampleGranularity``,
+``searchDistance`` and the derived ``c``; a tunable ``sampleImage`` task; a
+``task_select`` choosing a ``markRegion`` variant on the granularity; and a
+``computeJunctions`` task whose admissible configuration is restricted by
+``c`` — the cross-step resource trade-off the paper highlights.
+
+Resource tables come from *profiling the actual pipeline* on a training
+image ("these can be obtained by profiling on a training set of
+representative images", Section 3.2): work counters from
+:func:`~repro.apps.junction.detect.detect_junctions` convert to durations
+via a work rate, and measured F1 becomes the configuration's quality.
+
+The task bodies integrate with the Calypso runtime: ``sampleImage``
+executes as a real parallel step (one routine copy per image band), the
+other steps run sequentially, all communicating through shared memory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.apps.junction.detect import detect_junctions, junction_points
+from repro.apps.junction.image import JunctionImage
+from repro.apps.junction.quality import match_quality
+from repro.apps.junction.regions import mark_regions
+from repro.apps.junction.sampling import sample_image
+from repro.calypso.routine import Routine
+from repro.calypso.shared import SharedMemory
+from repro.calypso.step import ParallelStep
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ConfigurationError
+from repro.lang.constructs import (
+    SelectBranch,
+    SelectConstruct,
+    TaskConfig,
+    TaskConstruct,
+)
+from repro.lang.expr import P
+from repro.lang.params import ParameterSet
+from repro.lang.program import TunableProgram
+
+__all__ = [
+    "JunctionConfig",
+    "ProfiledStep",
+    "ConfigProfile",
+    "profile_configuration",
+    "junction_program",
+    "prepare_memory",
+    "DEFAULT_CONFIGS",
+]
+
+#: Work units one processor retires per unit of virtual time.  Any constant
+#: works — it scales all durations equally; 500 gives durations of the same
+#: order as the paper's example numbers (8.0 / 2.0 for sampling).
+WORK_RATE: float = 500.0
+
+#: Processor counts per step (step 2 is the sequential clustering step).
+STEP_WIDTHS: tuple[int, int, int] = (4, 1, 4)
+
+
+@dataclass(frozen=True, slots=True)
+class JunctionConfig:
+    """One (sampling granularity, search distance) configuration."""
+
+    granularity: int
+    search_distance: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.granularity < 1:
+            raise ConfigurationError(
+                f"granularity must be >= 1, got {self.granularity}"
+            )
+        if self.search_distance <= 0:
+            raise ConfigurationError(
+                f"search_distance must be positive, got {self.search_distance}"
+            )
+
+
+#: Figure 2's two configurations: fine sampling with a small search
+#: distance versus coarse sampling compensated by a large one.  Calibrated
+#: (see EXPERIMENTS.md, fig2) so the paper's trade-off is visible in the
+#: profiled work: coarse saves ~4x in step 1 and pays ~3x in step 3 while
+#: holding comparable output quality.
+DEFAULT_CONFIGS: tuple[JunctionConfig, ...] = (
+    JunctionConfig(granularity=16, search_distance=5.0, label="fine"),
+    JunctionConfig(granularity=64, search_distance=20.0, label="coarse"),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class ProfiledStep:
+    """Measured resource request of one step under one configuration."""
+
+    work: int
+    processors: int
+    duration: float
+
+    @property
+    def request(self) -> ProcessorTimeRequest:
+        """The processor-time request the QoS agent advertises."""
+        return ProcessorTimeRequest(self.processors, self.duration)
+
+
+@dataclass(frozen=True, slots=True)
+class ConfigProfile:
+    """Profile of the full pipeline under one configuration."""
+
+    config: JunctionConfig
+    steps: tuple[ProfiledStep, ProfiledStep, ProfiledStep]
+    f1: float
+    detected: int
+
+    @property
+    def total_area(self) -> float:
+        """Total processor-time the configuration consumes."""
+        return sum(s.request.area for s in self.steps)
+
+
+def _duration(work: int, processors: int) -> float:
+    """Work → virtual-time duration on ``processors`` CPUs (floor 0.25)."""
+    return max(work / (WORK_RATE * processors), 0.25)
+
+
+def profile_configuration(
+    image: JunctionImage, config: JunctionConfig, tolerance: float = 6.0
+) -> ConfigProfile:
+    """Run the pipeline once and measure per-step work and output quality."""
+    result = detect_junctions(
+        image.pixels,
+        granularity=config.granularity,
+        search_distance=config.search_distance,
+    )
+    quality = match_quality(result.points, image.junctions, tolerance=tolerance)
+    w1, w2, w3 = result.work.step1, result.work.step2, result.work.step3
+    p1, p2, p3 = STEP_WIDTHS
+    steps = (
+        ProfiledStep(w1, p1, _duration(w1, p1)),
+        ProfiledStep(w2, p2, _duration(w2, p2)),
+        ProfiledStep(w3, p3, _duration(w3, p3)),
+    )
+    return ConfigProfile(
+        config=config, steps=steps, f1=quality.f1, detected=result.count
+    )
+
+
+# ---------------------------------------------------------------------------
+# Calypso step bodies
+# ---------------------------------------------------------------------------
+
+
+def _sample_body(memory: object, env: Mapping[str, object]) -> ParallelStep:
+    """Step 1 as a real parallel step: one routine copy per image band."""
+    granularity = int(env["sampleGranularity"])  # set by the QoS agent
+    copies = STEP_WIDTHS[0]
+
+    def routine_body(view, width, number):  # noqa: ANN001 - Calypso signature
+        pixels = view["image"]
+        h = pixels.shape[0]
+        band = (h * number // width, h * (number + 1) // width)
+        result = sample_image(pixels, granularity, row_band=band)
+        view[f"points_{number}"] = result.points
+
+    return ParallelStep(
+        (Routine(routine_body, copies=copies, name="sample"),), name="sampleImage"
+    )
+
+
+def _make_mark_body(min_points: int = 3):
+    def mark_body(memory: SharedMemory, env: Mapping[str, object]) -> None:
+        """Step 2 (sequential): merge bands, cluster, store regions."""
+        distance = float(env["searchDistance"])  # set by the QoS agent
+        pieces = [
+            memory[f"points_{i}"]
+            for i in range(STEP_WIDTHS[0])
+            if f"points_{i}" in memory
+        ]
+        points = (
+            np.concatenate([p for p in pieces if p.size], axis=0)
+            if any(p.size for p in pieces)
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        image = memory["image"]
+        memory["regions"] = tuple(
+            mark_regions(points, distance, image.shape, min_points=min_points)
+        )
+
+    return mark_body
+
+
+def _compute_body(memory: SharedMemory, env: Mapping[str, object]) -> None:
+    """Step 3 (sequential numpy; parallelism is inside the arrays)."""
+    image = memory["image"]
+    regions = memory["regions"]
+    mask = np.zeros(image.shape, dtype=bool)
+    for region in regions:
+        mask |= region.pixel_mask(image.shape)
+    memory["junctions"] = junction_points(image, mask)
+
+
+def prepare_memory(image: JunctionImage) -> SharedMemory:
+    """Shared memory pre-loaded with the program's inputs and outputs."""
+    slots: dict[str, object] = {
+        "image": image.pixels,
+        "regions": (),
+        "junctions": np.empty((0, 2), dtype=np.int64),
+    }
+    for i in range(STEP_WIDTHS[0]):
+        slots[f"points_{i}"] = np.empty((0, 2), dtype=np.int64)
+    return SharedMemory(**slots)
+
+
+# ---------------------------------------------------------------------------
+# The program
+# ---------------------------------------------------------------------------
+
+
+def junction_program(
+    profiles: Sequence[ConfigProfile],
+    deadline_scale: float = 3.0,
+) -> TunableProgram:
+    """Build the Figure-3 program from profiled configurations.
+
+    Exactly two profiles are expected (the fine/coarse pair); deadlines are
+    cumulative zero-gap times scaled by ``deadline_scale`` (> 1 leaves
+    scheduling slack, mirroring the soft real-time budget a video pipeline
+    would impose).
+    """
+    if len(profiles) != 2:
+        raise ConfigurationError(
+            f"junction_program expects 2 profiled configurations, got {len(profiles)}"
+        )
+    fine, coarse = profiles
+    if fine.config.granularity >= coarse.config.granularity:
+        raise ConfigurationError(
+            "profiles must be ordered (fine, coarse) by granularity"
+        )
+
+    def deadlines(profile: ConfigProfile) -> tuple[float, float, float]:
+        acc = 0.0
+        out = []
+        for step in profile.steps:
+            acc += step.duration
+            out.append(acc * deadline_scale)
+        return tuple(out)  # type: ignore[return-value]
+
+    d_fine = deadlines(fine)
+    d_coarse = deadlines(coarse)
+    # Task deadlines must be single values per construct: use the max over
+    # configurations (per-config deadlines would need Expr deadlines; the
+    # paper's example also states one deadline per task).
+    d1 = max(d_fine[0], d_coarse[0])
+    d2 = max(d_fine[1], d_coarse[1])
+    d3 = max(d_fine[2], d_coarse[2])
+
+    params = ParameterSet(sampleGranularity=None, searchDistance=None, c=None)
+
+    sample = TaskConstruct(
+        "sampleImage",
+        deadline=d1,
+        parameter_list=("sampleGranularity",),
+        configs=(
+            TaskConfig(
+                (fine.config.granularity,), fine.steps[0].request, quality=1.0
+            ),
+            TaskConfig(
+                (coarse.config.granularity,), coarse.steps[0].request, quality=1.0
+            ),
+        ),
+        body=_sample_body,
+    )
+
+    mark = SelectConstruct(
+        branches=(
+            SelectBranch(
+                when=P("sampleGranularity") == fine.config.granularity,
+                body=(
+                    TaskConstruct(
+                        "markRegionFine",
+                        deadline=d2,
+                        parameter_list=("searchDistance",),
+                        configs=(
+                            TaskConfig(
+                                (fine.config.search_distance,),
+                                fine.steps[1].request,
+                            ),
+                        ),
+                        body=_make_mark_body(),
+                    ),
+                ),
+                finally_binds={"c": 1},
+                label="fine",
+            ),
+            SelectBranch(
+                when=P("sampleGranularity") == coarse.config.granularity,
+                body=(
+                    TaskConstruct(
+                        "markRegionCoarse",
+                        deadline=d2,
+                        parameter_list=("searchDistance",),
+                        configs=(
+                            TaskConfig(
+                                (coarse.config.search_distance,),
+                                coarse.steps[1].request,
+                            ),
+                        ),
+                        body=_make_mark_body(),
+                    ),
+                ),
+                finally_binds={"c": 2},
+                label="coarse",
+            ),
+        ),
+        name="markRegion",
+    )
+
+    compute = TaskConstruct(
+        "computeJunctions",
+        deadline=d3,
+        parameter_list=("c",),
+        configs=(
+            TaskConfig((1,), fine.steps[2].request, quality=fine.f1),
+            TaskConfig((2,), coarse.steps[2].request, quality=coarse.f1),
+        ),
+        body=_compute_body,
+    )
+
+    return TunableProgram("junction-detection", params, (sample, mark, compute))

@@ -1,0 +1,270 @@
+"""Adaptive iterative refinement — a ``task_loop`` tunable application.
+
+A third tunable workload alongside junction detection and the video
+pipeline: solve the Poisson problem ``-Δu = f`` on the unit square by
+Jacobi iteration, tunable between
+
+* a **fine** grid with few sweeps (expensive per sweep, accurate), and
+* a **coarse** grid with more sweeps (cheap per sweep, less accurate),
+
+so resource demand again shifts across the job's lifetime.  Unlike the
+junction program this one is built around the ``task_loop`` construct: the
+iteration count is a control parameter evaluated at scheduling time, and
+each sweep's deadline is an expression over the loop variable — exercising
+the scheduling-time expression language end to end.
+
+Ground truth is analytic (``u = sin(pi x) sin(pi y)``), so output quality
+is a measured accuracy, mirroring the junction app's measured F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.calypso.shared import SharedMemory
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ConfigurationError
+from repro.lang.constructs import LoopConstruct, TaskConfig, TaskConstruct
+from repro.lang.expr import P
+from repro.lang.params import ParameterSet
+from repro.lang.program import TunableProgram
+
+__all__ = [
+    "RefinementConfig",
+    "RefinementProfile",
+    "DEFAULT_REFINEMENT_CONFIGS",
+    "jacobi_sweeps",
+    "solution_error",
+    "profile_refinement",
+    "refinement_program",
+    "prepare_refinement_memory",
+]
+
+#: Grid cells one processor relaxes per unit of virtual time.
+SWEEP_RATE: float = 200_000.0
+
+
+@dataclass(frozen=True, slots=True)
+class RefinementConfig:
+    """One configuration: grid resolution and the relaxation schedule.
+
+    Jacobi needs thousands of sweeps to converge, so the schedulable unit
+    is a *block* of ``sweeps_per_block`` sweeps; the ``task_loop`` iterates
+    ``blocks`` times.  Total sweeps = ``blocks * sweeps_per_block``.
+    """
+
+    resolution: int
+    blocks: int
+    sweeps_per_block: int
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.resolution < 8:
+            raise ConfigurationError(
+                f"resolution must be >= 8, got {self.resolution}"
+            )
+        if self.blocks < 1:
+            raise ConfigurationError(f"blocks must be >= 1, got {self.blocks}")
+        if self.sweeps_per_block < 1:
+            raise ConfigurationError(
+                f"sweeps_per_block must be >= 1, got {self.sweeps_per_block}"
+            )
+
+    @property
+    def cells(self) -> int:
+        """Interior cells relaxed per sweep."""
+        return (self.resolution - 1) ** 2
+
+    @property
+    def total_sweeps(self) -> int:
+        """Sweeps across the whole schedule."""
+        return self.blocks * self.sweeps_per_block
+
+
+#: Fine grid, 12 heavy blocks (accurate, ~20x the work) versus coarse grid,
+#: 6 light blocks (cheap, ~4x the error).
+DEFAULT_REFINEMENT_CONFIGS: tuple[RefinementConfig, ...] = (
+    RefinementConfig(resolution=64, blocks=12, sweeps_per_block=500, label="fine"),
+    RefinementConfig(resolution=32, blocks=6, sweeps_per_block=200, label="coarse"),
+)
+
+
+def _grids(resolution: int) -> tuple[np.ndarray, np.ndarray, float]:
+    """Right-hand side, analytic solution and grid spacing."""
+    h = 1.0 / resolution
+    xs = np.linspace(0.0, 1.0, resolution + 1)
+    x, y = np.meshgrid(xs, xs, indexing="ij")
+    exact = np.sin(np.pi * x) * np.sin(np.pi * y)
+    rhs = 2.0 * np.pi**2 * exact
+    return rhs, exact, h
+
+
+def jacobi_sweeps(u: np.ndarray, rhs: np.ndarray, h: float, sweeps: int) -> np.ndarray:
+    """Run ``sweeps`` Jacobi relaxations of ``-Δu = rhs`` (Dirichlet 0)."""
+    if sweeps < 0:
+        raise ConfigurationError(f"sweeps must be >= 0, got {sweeps}")
+    out = u.copy()
+    for _ in range(sweeps):
+        interior = 0.25 * (
+            out[:-2, 1:-1]
+            + out[2:, 1:-1]
+            + out[1:-1, :-2]
+            + out[1:-1, 2:]
+            + h * h * rhs[1:-1, 1:-1]
+        )
+        out = out.copy()
+        out[1:-1, 1:-1] = interior
+    return out
+
+
+def solution_error(u: np.ndarray, exact: np.ndarray) -> float:
+    """Relative L2 error against the analytic solution."""
+    denom = float(np.linalg.norm(exact))
+    if denom == 0:
+        raise ConfigurationError("degenerate exact solution")
+    return float(np.linalg.norm(u - exact)) / denom
+
+
+@dataclass(frozen=True, slots=True)
+class RefinementProfile:
+    """Measured cost/quality of one configuration."""
+
+    config: RefinementConfig
+    block_duration: float
+    setup_duration: float
+    error: float
+
+    @property
+    def quality(self) -> float:
+        """Accuracy mapped to (0, 1]: 1 at zero error, ~0.5 at 0.1% error."""
+        return 1.0 / (1.0 + 1000.0 * self.error)
+
+    @property
+    def total_duration(self) -> float:
+        """Zero-gap virtual time of the whole configuration."""
+        return self.setup_duration + self.config.blocks * self.block_duration
+
+
+def profile_refinement(config: RefinementConfig) -> RefinementProfile:
+    """Run the configuration once; measure its error and derive durations."""
+    rhs, exact, h = _grids(config.resolution)
+    u = jacobi_sweeps(np.zeros_like(rhs), rhs, h, config.total_sweeps)
+    error = solution_error(u, exact)
+    block_duration = max(
+        config.cells * config.sweeps_per_block / SWEEP_RATE, 0.05
+    )
+    setup_duration = max(config.cells / (4 * SWEEP_RATE), 0.05)
+    return RefinementProfile(
+        config=config,
+        block_duration=block_duration,
+        setup_duration=setup_duration,
+        error=error,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Program construction
+# ---------------------------------------------------------------------------
+
+
+def _setup_body(memory: SharedMemory, env: Mapping[str, object]) -> None:
+    resolution = int(env["resolution"])
+    rhs, exact, h = _grids(resolution)
+    memory["rhs"] = rhs
+    memory["exact"] = exact
+    memory["h"] = h
+    memory["u"] = np.zeros_like(rhs)
+
+
+def _sweep_body(memory: SharedMemory, env: Mapping[str, object]) -> None:
+    memory["u"] = jacobi_sweeps(
+        memory["u"], memory["rhs"], memory["h"], int(env["spb"])
+    )
+
+
+def _evaluate_body(memory: SharedMemory, env: Mapping[str, object]) -> None:
+    memory["error"] = solution_error(memory["u"], memory["exact"])
+
+
+def prepare_refinement_memory() -> SharedMemory:
+    """Shared memory with the program's slots declared."""
+    return SharedMemory(rhs=None, exact=None, h=0.0, u=None, error=1.0)
+
+
+def refinement_program(
+    profiles: tuple[RefinementProfile, RefinementProfile],
+    deadline_scale: float = 3.0,
+    processors: int = 4,
+) -> TunableProgram:
+    """Build the tunable program from two measured profiles.
+
+    Structure::
+
+        task setup [deadline] [resolution, blocks, spb] [ (fine), (coarse) ]
+        task_loop ( blocks ) with k:
+            task sweep [deadline = f(k, per-block budget)] [resolution] ...
+        task evaluate
+
+    The loop count is the ``blocks`` control parameter bound by the chosen
+    setup configuration; each block's deadline advances by the slower
+    configuration's per-block budget so both paths stay schedulable.
+    """
+    fine, coarse = profiles
+    if fine.config.resolution <= coarse.config.resolution:
+        raise ConfigurationError("profiles must be ordered (fine, coarse)")
+
+    setup_d = deadline_scale * max(fine.setup_duration, coarse.setup_duration)
+    per_block = deadline_scale * max(fine.block_duration, coarse.block_duration)
+    tail = deadline_scale * 0.25
+    max_blocks = max(fine.config.blocks, coarse.config.blocks)
+
+    params = ParameterSet(resolution=None, blocks=None, spb=None)
+
+    # Path quality rides on the setup configuration (the path is fully
+    # determined there; blocks repeat, so attaching quality to them would
+    # compound under product composition).
+    setup = TaskConstruct(
+        "setup",
+        deadline=setup_d,
+        parameter_list=("resolution", "blocks", "spb"),
+        configs=tuple(
+            TaskConfig(
+                (p.config.resolution, p.config.blocks, p.config.sweeps_per_block),
+                ProcessorTimeRequest(processors, p.setup_duration),
+                quality=p.quality,
+            )
+            for p in (fine, coarse)
+        ),
+        body=_setup_body,
+    )
+
+    # Each block's deadline advances by the slower configuration's block
+    # budget — a worked example of an Expr deadline over the loop variable.
+    sweep = TaskConstruct(
+        "sweep",
+        deadline=setup_d + (P("k") + 1) * per_block,
+        parameter_list=("resolution",),
+        configs=tuple(
+            TaskConfig(
+                (p.config.resolution,),
+                ProcessorTimeRequest(processors, p.block_duration),
+            )
+            for p in (fine, coarse)
+        ),
+        body=_sweep_body,
+    )
+
+    loop = LoopConstruct(count=P("blocks"), var="k", body=(sweep,), name="relax")
+
+    evaluate = TaskConstruct(
+        "evaluate",
+        deadline=setup_d + max_blocks * per_block + tail,
+        parameter_list=(),
+        configs=(TaskConfig((), ProcessorTimeRequest(1, 0.25)),),
+        body=_evaluate_body,
+    )
+
+    return TunableProgram("refinement", params, (setup, loop, evaluate))

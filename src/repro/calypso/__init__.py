@@ -1,0 +1,46 @@
+"""A Calypso-like parallel execution substrate (Section 2).
+
+Calypso "views computations as consisting of several parallel tasks
+inserted into a sequential program", with CREW (concurrent-read,
+exclusive-write) semantics over shared data — "updates visible only at the
+end of the current step" — and idempotent parallel tasks executed under
+*two-phase idempotent execution* and *eager scheduling*, which together
+mask faults and speed variation.
+
+This package reproduces those execution semantics in-process:
+
+* :mod:`repro.calypso.shared` — shared memory with per-step snapshots and
+  buffered, conflict-checked writes (the two phases);
+* :mod:`repro.calypso.routine` / :mod:`repro.calypso.step` — the
+  ``parbegin`` / ``routine`` / ``parend`` constructs;
+* :mod:`repro.calypso.runtime` — a thread-pool executor with eager
+  scheduling (re-execution of unfinished tasks) and exactly-once commit;
+* :mod:`repro.calypso.faults` — fault injection to exercise the masking;
+* :mod:`repro.calypso.manager` — ties a tunable program, its QoS agent and
+  the runtime together end-to-end.
+
+Performance numbers never come from this substrate (the GIL makes
+wall-clock parallel utilization meaningless in CPython); it exists to make
+the *semantics* the paper relies on real and testable.
+"""
+
+from repro.calypso.shared import SharedMemory, TaskView
+from repro.calypso.routine import Routine
+from repro.calypso.step import ParallelStep, StepReport
+from repro.calypso.runtime import CalypsoRuntime
+from repro.calypso.faults import FaultInjector, DeterministicFaults, TransientFault
+from repro.calypso.manager import ApplicationManager, ProgramRun
+
+__all__ = [
+    "SharedMemory",
+    "TaskView",
+    "Routine",
+    "ParallelStep",
+    "StepReport",
+    "CalypsoRuntime",
+    "FaultInjector",
+    "DeterministicFaults",
+    "TransientFault",
+    "ApplicationManager",
+    "ProgramRun",
+]

@@ -1,0 +1,114 @@
+"""Fault injection for exercising Calypso's masking guarantees.
+
+MILAN's execution techniques "provide programmers with the view of a
+fault-free virtual shared memory environment, even when the underlying
+resources may incur faults and exhibit wide variations in processing
+speeds" (Section 2).  The Section 5 experiments assume fault-freeness; the
+injectors here let the test suite and the fault-masking example verify the
+mechanism instead of assuming it.
+
+Injectors are called by the runtime at the start of every task execution
+and raise :class:`TransientFault` to simulate a worker dying mid-task.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+__all__ = ["TransientFault", "FaultInjector", "DeterministicFaults"]
+
+
+class TransientFault(Exception):
+    """A simulated resource fault inside one task execution.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: it models an
+    environmental failure, is handled entirely inside the runtime, and must
+    never escape a successful step.
+    """
+
+
+class FaultInjector:
+    """Probabilistically fail task executions, with a per-task cap.
+
+    Parameters
+    ----------
+    probability:
+        Chance in [0, 1) that any given execution faults.
+    streams:
+        Seeded randomness (substream ``"faults"``).
+    max_faults_per_task:
+        Hard cap guaranteeing progress: once a logical task has faulted
+        this many times, further executions of it always succeed.
+    """
+
+    def __init__(
+        self,
+        probability: float,
+        streams: RandomStreams,
+        max_faults_per_task: int = 8,
+    ) -> None:
+        if not 0 <= probability < 1:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1), got {probability}"
+            )
+        if max_faults_per_task < 0:
+            raise ConfigurationError(
+                f"max_faults_per_task must be >= 0, got {max_faults_per_task}"
+            )
+        self.probability = probability
+        self.max_faults_per_task = max_faults_per_task
+        self._rng = streams.python("faults")
+        self._counts: dict[tuple[str, int], int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def injected(self) -> int:
+        """Total faults injected so far."""
+        with self._lock:
+            return sum(self._counts.values())
+
+    def before_execution(self, task_key: tuple[str, int]) -> None:
+        """Called by the runtime; raises :class:`TransientFault` to fail."""
+        with self._lock:
+            count = self._counts.get(task_key, 0)
+            if count >= self.max_faults_per_task:
+                return
+            if self._rng.random() < self.probability:
+                self._counts[task_key] = count + 1
+                raise TransientFault(
+                    f"injected fault #{count + 1} in task {task_key!r}"
+                )
+
+
+class DeterministicFaults:
+    """Fail scripted executions: task key → number of initial failures.
+
+    ``DeterministicFaults({("work", 0): 2})`` makes the first two
+    executions of logical task ``("work", 0)`` fault and every later one
+    succeed — the sharpest possible test of exactly-once commit.
+    """
+
+    def __init__(self, failures: Mapping[tuple[str, int], int]) -> None:
+        for key, n in failures.items():
+            if n < 0:
+                raise ConfigurationError(
+                    f"failure count for {key!r} must be >= 0, got {n}"
+                )
+        self._remaining = dict(failures)
+        self._lock = threading.Lock()
+        self.injected = 0
+
+    def before_execution(self, task_key: tuple[str, int]) -> None:
+        """Raise :class:`TransientFault` while the task's budget remains."""
+        with self._lock:
+            remaining = self._remaining.get(task_key, 0)
+            if remaining > 0:
+                self._remaining[task_key] = remaining - 1
+                self.injected += 1
+                raise TransientFault(
+                    f"scripted fault in task {task_key!r} ({remaining} remaining)"
+                )

@@ -1,0 +1,114 @@
+"""End-to-end application manager: program → agent → arbitrator → runtime.
+
+This is the integration point the architecture diagram (Figure 1) implies:
+the preprocessor builds a QoS agent from the tunable program; the agent
+negotiates a contract with the QoS arbitrator; the granted control
+parameters configure the program; and the Calypso runtime then executes the
+granted path's steps in order.
+
+A task construct's ``body`` (see :data:`repro.lang.constructs.StepBody`) is
+called as ``body(memory, env)`` where ``env`` is the granted parameter
+assignment; it either performs sequential work directly on ``memory`` and
+returns ``None``, or returns a :class:`~repro.calypso.step.ParallelStep`
+for the runtime to execute under eager scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.calypso.runtime import CalypsoRuntime
+from repro.calypso.shared import SharedMemory
+from repro.calypso.step import ParallelStep, StepReport
+from repro.core.arbitrator import QoSArbitrator
+from repro.errors import CalypsoError
+from repro.lang.preprocess import enumerate_paths_detailed
+from repro.lang.program import TunableProgram
+from repro.model.job import Job
+from repro.qos.agent import QoSAgent
+from repro.qos.contract import ResourceContract
+
+__all__ = ["ProgramRun", "ApplicationManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramRun:
+    """Record of one admitted, executed program run."""
+
+    contract: ResourceContract
+    params: Mapping[str, object]
+    reports: tuple[StepReport, ...]
+
+    @property
+    def total_executions(self) -> int:
+        """Task executions across all parallel steps (incl. retries)."""
+        return sum(r.executions for r in self.reports)
+
+    @property
+    def faults_masked(self) -> int:
+        """Faults transparently masked across the run."""
+        return sum(r.faults_masked for r in self.reports)
+
+
+class ApplicationManager:
+    """Runs one tunable program under QoS management.
+
+    Parameters
+    ----------
+    program:
+        The tunable application specification.
+    runtime:
+        The Calypso runtime executing parallel steps.
+    memory:
+        Shared memory pre-populated with the program's inputs.
+    """
+
+    def __init__(
+        self,
+        program: TunableProgram,
+        runtime: CalypsoRuntime,
+        memory: SharedMemory,
+    ) -> None:
+        self.program = program
+        self.runtime = runtime
+        self.memory = memory
+        self._paths = enumerate_paths_detailed(program)
+        self.agent = QoSAgent(program.name, [p.chain for p in self._paths])
+
+    # ------------------------------------------------------------------
+
+    def submit_only(self, arbitrator: QoSArbitrator, release: float) -> ResourceContract | None:
+        """Negotiate without executing (planning/what-if use)."""
+        return self.agent.negotiate(arbitrator, release)
+
+    def run(
+        self, arbitrator: QoSArbitrator, release: float = 0.0
+    ) -> ProgramRun | None:
+        """Negotiate, configure, and execute the granted path.
+
+        Returns ``None`` when admission control rejects the application
+        (the caller decides whether to retry later, degrade, or drop —
+        Section 3 leaves that policy to the application).
+        """
+        contract = self.agent.negotiate(arbitrator, release)
+        if contract is None:
+            return None
+        path = self._paths[contract.chain_index]
+        env = dict(contract.params)
+        reports: list[StepReport] = []
+        for construct in path.constructs:
+            if construct.body is None:
+                continue
+            outcome = construct.body(self.memory, env)
+            if outcome is None:
+                continue
+            if not isinstance(outcome, ParallelStep):
+                raise CalypsoError(
+                    f"task {construct.name!r} body returned {type(outcome).__name__}; "
+                    "expected ParallelStep or None"
+                )
+            reports.append(self.runtime.execute_step(outcome, self.memory))
+        return ProgramRun(
+            contract=contract, params=env, reports=tuple(reports)
+        )

@@ -1,0 +1,58 @@
+"""The ``routine`` statement.
+
+.. code-block:: text
+
+    routine [int-exp](int width, int number)
+        routine-body
+
+"routine-body1 and routine-body2 are sequential C++ program fragments,
+int-exp specifies an integer expression indicating the number of copies of
+each routine to be created within the parallel step, and width and number
+are arguments provided to each task denoting, respectively, the number of
+tasks created and the sequence number of the specific task among these
+tasks."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.calypso.shared import TaskView
+from repro.errors import CalypsoError
+
+__all__ = ["Routine", "RoutineBody"]
+
+#: A routine body: (view, width, number) -> None.  Results are communicated
+#: exclusively through shared-memory writes on the view, exactly as in
+#: Calypso; return values are ignored.
+RoutineBody = Callable[[TaskView, int, int], object]
+
+
+@dataclass(frozen=True, slots=True)
+class Routine:
+    """One ``routine`` statement inside a parallel step.
+
+    Attributes
+    ----------
+    body:
+        The sequential program fragment run by each copy.
+    copies:
+        The ``int-exp`` — how many task copies to create.
+    name:
+        Identifier used for conflict reporting and logical-task keys;
+        must be unique within its parallel step.
+    """
+
+    body: RoutineBody
+    copies: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not callable(self.body):
+            raise CalypsoError(f"routine body {self.body!r} is not callable")
+        if not isinstance(self.copies, int) or isinstance(self.copies, bool) or self.copies < 1:
+            raise CalypsoError(
+                f"routine {self.name!r}: copies must be a positive int, got "
+                f"{self.copies!r}"
+            )

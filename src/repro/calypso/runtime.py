@@ -1,0 +1,200 @@
+"""The Calypso runtime: eager scheduling with exactly-once commit.
+
+"MILAN takes advantage of two execution techniques with strong theoretical
+foundations — two-phase idempotent execution strategy, and eager scheduling
+— to provide programmers with the view of a fault-free virtual shared
+memory environment" (Section 2).
+
+Execution model implemented here:
+
+* Every *execution* of a logical task runs against the step-begin snapshot
+  with a private write buffer (phase one) — so executions are idempotent
+  and mutually isolated.
+* Workers pull tasks from a queue; a faulted execution re-queues its task
+  (fault masking).  When the queue drains while tasks are still in flight,
+  idle workers *eagerly re-execute* in-flight tasks (straggler masking) up
+  to a per-task execution cap.
+* The first completed execution of each logical task wins; its buffer is
+  the one merged and committed at step end (phase two, exactly-once).
+
+Threads here give real concurrency semantics (races, interleavings) even
+though the GIL serializes CPU work — which is why performance is always
+measured on the virtual-time simulator instead (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Protocol
+
+from repro.calypso.shared import SharedMemory, TaskView, merge_buffers
+from repro.calypso.step import LogicalTask, ParallelStep, StepReport
+from repro.calypso.faults import TransientFault
+from repro.errors import CalypsoError, ConfigurationError
+
+__all__ = ["CalypsoRuntime"]
+
+
+class _Injector(Protocol):
+    def before_execution(self, task_key: tuple[str, int]) -> None: ...
+
+
+class CalypsoRuntime:
+    """Executes parallel steps on a pool of worker threads.
+
+    Parameters
+    ----------
+    workers:
+        Worker thread count (>= 1).
+    fault_injector:
+        Optional injector whose ``before_execution`` hook may raise
+        :class:`~repro.calypso.faults.TransientFault`.
+    eager_duplication:
+        Enable eager re-execution of in-flight tasks by idle workers.  With
+        one worker this never triggers.
+    max_executions_per_task:
+        Hard bound on total executions of any one logical task; exceeding
+        it raises :class:`~repro.errors.CalypsoError` (a fault injector
+        with unbounded per-task failures would otherwise spin forever).
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        fault_injector: _Injector | None = None,
+        eager_duplication: bool = True,
+        max_executions_per_task: int = 32,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_executions_per_task < 1:
+            raise ConfigurationError(
+                f"max_executions_per_task must be >= 1, got {max_executions_per_task}"
+            )
+        self.workers = workers
+        self.fault_injector = fault_injector
+        self.eager_duplication = eager_duplication
+        self.max_executions_per_task = max_executions_per_task
+
+    # ------------------------------------------------------------------
+
+    def execute_step(self, step: ParallelStep, memory: SharedMemory) -> StepReport:
+        """Run one parallel step to completion and commit its updates.
+
+        Raises the first non-fault exception any routine body raised (a
+        *program* error is never masked), or
+        :class:`~repro.errors.ConcurrentWriteError` if the step violated
+        CREW.  On success the merged updates are applied to ``memory`` and
+        a :class:`~repro.calypso.step.StepReport` is returned.
+        """
+        snapshot = memory.snapshot()
+        tasks = step.logical_tasks()
+
+        lock = threading.Lock()
+        work_ready = threading.Condition(lock)
+        queue: deque[LogicalTask] = deque(tasks)
+        pending: dict[tuple[str, int], LogicalTask] = {t.key: t for t in tasks}
+        results: dict[tuple[str, int], dict[str, object]] = {}
+        exec_counts: dict[tuple[str, int], int] = {t.key: 0 for t in tasks}
+        stats = {"executions": 0, "faults": 0, "duplicates": 0}
+        errors: list[BaseException] = []
+
+        def next_task() -> LogicalTask | None:
+            """Pick work under the lock; None means the step is over."""
+            while True:
+                if not pending or errors:
+                    return None
+                if queue:
+                    task = queue.popleft()
+                    if task.key not in pending:
+                        continue  # finished while queued (eager duplicate won)
+                    return task
+                if self.eager_duplication:
+                    # Eager scheduling: duplicate the in-flight task with the
+                    # fewest executions so far, if its budget allows.
+                    candidates = [
+                        t
+                        for t in pending.values()
+                        if exec_counts[t.key] < self.max_executions_per_task
+                    ]
+                    if candidates:
+                        task = min(candidates, key=lambda t: exec_counts[t.key])
+                        stats["duplicates"] += 1
+                        return task
+                # Nothing to do but wait for a fault-requeue or completion.
+                work_ready.wait()
+
+        def worker() -> None:
+            while True:
+                with lock:
+                    task = next_task()
+                    if task is None:
+                        work_ready.notify_all()
+                        return
+                    exec_counts[task.key] += 1
+                    if exec_counts[task.key] > self.max_executions_per_task:
+                        errors.append(
+                            CalypsoError(
+                                f"task {task.key!r} exceeded "
+                                f"{self.max_executions_per_task} executions"
+                            )
+                        )
+                        work_ready.notify_all()
+                        return
+                    stats["executions"] += 1
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.before_execution(task.key)
+                    view = TaskView(snapshot)
+                    task.routine.body(view, task.width, task.number)
+                except TransientFault:
+                    with lock:
+                        stats["faults"] += 1
+                        if task.key in pending:
+                            queue.append(task)
+                        work_ready.notify_all()
+                    continue
+                except BaseException as exc:  # program error: never masked
+                    with lock:
+                        errors.append(exc)
+                        work_ready.notify_all()
+                    return
+                with lock:
+                    if task.key in pending:
+                        results[task.key] = view.writes
+                        del pending[task.key]
+                    work_ready.notify_all()
+                    if not pending:
+                        return
+
+        threads = [
+            threading.Thread(target=worker, name=f"calypso-{i}", daemon=True)
+            for i in range(min(self.workers, max(len(tasks), 1)))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        if errors:
+            raise errors[0]
+        if pending:  # pragma: no cover - defensive
+            raise CalypsoError(f"step ended with unfinished tasks: {sorted(pending)}")
+
+        committed = merge_buffers(results)
+        memory.apply(committed)
+        return StepReport(
+            step_name=step.name,
+            tasks=len(tasks),
+            executions=stats["executions"],
+            faults_masked=stats["faults"],
+            duplicates=stats["duplicates"],
+            committed=committed,
+        )
+
+    def execute_steps(
+        self, steps: list[ParallelStep], memory: SharedMemory
+    ) -> list[StepReport]:
+        """Run several steps in sequence (the Calypso program structure)."""
+        return [self.execute_step(step, memory) for step in steps]

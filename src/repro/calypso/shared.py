@@ -1,0 +1,143 @@
+"""Shared memory with CREW, step-snapshot semantics.
+
+"Within a parallel step, Calypso supports CREW (concurrent read, exclusive
+write) semantics to shared data structures, with updates visible only at
+the end of the current step."
+
+Two-phase idempotent execution maps onto this as: phase one, every task
+execution reads from an immutable snapshot taken at step begin and buffers
+its writes privately (:class:`TaskView`); phase two, the step commit merges
+exactly one buffer per *logical* task into the shared store — re-executions
+of the same logical task (eager scheduling, fault masking) are therefore
+harmless, and write conflicts *between* logical tasks are detected at
+commit.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Mapping
+
+from repro.errors import CalypsoError, ConcurrentWriteError
+
+__all__ = ["SharedMemory", "TaskView"]
+
+
+class SharedMemory:
+    """The ``shared`` variables of a Calypso program.
+
+    A flat name → value store.  Values should be treated as immutable by
+    routine bodies (replace, don't mutate) — the runtime snapshots by
+    reference, exactly like Calypso's page-level isolation makes in-place
+    mutation of shared state invisible until commit.
+    """
+
+    def __init__(self, **initial: object) -> None:
+        self._data: dict[str, object] = dict(initial)
+        self._lock = threading.Lock()
+
+    def declare(self, name: str, value: object) -> None:
+        """Declare a shared variable (the ``shared`` keyword)."""
+        with self._lock:
+            if name in self._data:
+                raise CalypsoError(f"shared variable {name!r} re-declared")
+            self._data[name] = value
+
+    def __getitem__(self, name: str) -> object:
+        with self._lock:
+            try:
+                return self._data[name]
+            except KeyError:
+                raise CalypsoError(f"undeclared shared variable {name!r}") from None
+
+    def __setitem__(self, name: str, value: object) -> None:
+        # Sequential-code writes between steps are unrestricted.
+        with self._lock:
+            self._data[name] = value
+
+    def __contains__(self, name: object) -> bool:
+        with self._lock:
+            return name in self._data
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(list(self._data))
+
+    def snapshot(self) -> dict[str, object]:
+        """Immutable-by-convention view of the store at step begin."""
+        with self._lock:
+            return dict(self._data)
+
+    def apply(self, updates: Mapping[str, object]) -> None:
+        """Commit a step's merged updates (phase two)."""
+        with self._lock:
+            for name, value in updates.items():
+                if name not in self._data:
+                    raise CalypsoError(
+                        f"step commit writes undeclared shared variable {name!r}"
+                    )
+                self._data[name] = value
+
+
+class TaskView:
+    """One task execution's window onto shared memory.
+
+    Reads hit the execution's own buffered writes first, then the step
+    snapshot; writes go to the private buffer only.  Each *execution* (not
+    each logical task) gets a fresh view, making executions idempotent: a
+    re-run sees exactly the same snapshot and produces an equivalent buffer.
+    """
+
+    __slots__ = ("_snapshot", "_writes")
+
+    def __init__(self, snapshot: Mapping[str, object]) -> None:
+        self._snapshot = snapshot
+        self._writes: dict[str, object] = {}
+
+    def __getitem__(self, name: str) -> object:
+        if name in self._writes:
+            return self._writes[name]
+        try:
+            return self._snapshot[name]
+        except KeyError:
+            raise CalypsoError(f"undeclared shared variable {name!r}") from None
+
+    def __setitem__(self, name: str, value: object) -> None:
+        if name not in self._snapshot:
+            raise CalypsoError(
+                f"routine writes undeclared shared variable {name!r}"
+            )
+        self._writes[name] = value
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._writes or name in self._snapshot
+
+    @property
+    def writes(self) -> dict[str, object]:
+        """The buffered writes of this execution."""
+        return dict(self._writes)
+
+
+def merge_buffers(
+    buffers: Mapping[tuple[str, int], Mapping[str, object]],
+) -> dict[str, object]:
+    """Merge per-logical-task write buffers, enforcing exclusive write.
+
+    ``buffers`` maps logical task keys ``(routine_name, number)`` to their
+    committed write sets.  Two *different* logical tasks writing the same
+    shared variable violate CREW and raise
+    :class:`~repro.errors.ConcurrentWriteError` regardless of the values
+    written (exclusive write is about ownership, not coincidence).
+    """
+    merged: dict[str, object] = {}
+    writer: dict[str, tuple[str, int]] = {}
+    for key in sorted(buffers):
+        for name, value in buffers[key].items():
+            if name in writer and writer[name] != key:
+                raise ConcurrentWriteError(
+                    f"shared variable {name!r} written by both task "
+                    f"{writer[name]!r} and task {key!r} in one parallel step"
+                )
+            writer[name] = key
+            merged[name] = value
+    return merged

@@ -1,0 +1,112 @@
+"""Parallel steps: ``parbegin ... parend``.
+
+"parbegin and parend help delimit a parallel step consisting of a sequence
+of routine statements. ... Concurrency exists both inside one routine, as
+well as among multiple routines within the same parallel step."
+
+A :class:`ParallelStep` is pure structure; the runtime executes it.  Each
+routine statement with ``copies = n`` contributes ``n`` *logical tasks*
+``(routine_name, number)`` with ``number in [0, n)`` — the unit of
+exactly-once commit under eager scheduling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.calypso.routine import Routine
+from repro.errors import CalypsoError
+
+__all__ = ["LogicalTask", "ParallelStep", "StepReport"]
+
+
+@dataclass(frozen=True, slots=True)
+class LogicalTask:
+    """One unit of work in a parallel step: copy ``number`` of ``routine``."""
+
+    routine: Routine
+    number: int
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """Stable identity used for commit bookkeeping and CREW reporting."""
+        return (self.routine.name, self.number)
+
+    @property
+    def width(self) -> int:
+        """The ``width`` argument the body receives (copies of its routine)."""
+        return self.routine.copies
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelStep:
+    """An ordered set of routine statements executed concurrently."""
+
+    routines: tuple[Routine, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        routines = []
+        for i, r in enumerate(self.routines):
+            if not r.name:
+                r = Routine(body=r.body, copies=r.copies, name=f"routine{i}")
+            routines.append(r)
+        object.__setattr__(self, "routines", tuple(routines))
+        if not self.routines:
+            raise CalypsoError(f"parallel step {self.name!r} has no routines")
+        names = [r.name for r in self.routines]
+        if len(set(names)) != len(names):
+            raise CalypsoError(
+                f"parallel step {self.name!r} has duplicate routine names: {names}"
+            )
+
+    def logical_tasks(self) -> list[LogicalTask]:
+        """All ``(routine, number)`` tasks of this step, in document order."""
+        return [
+            LogicalTask(routine, number)
+            for routine in self.routines
+            for number in range(routine.copies)
+        ]
+
+    @property
+    def total_tasks(self) -> int:
+        """Total logical-task count across all routine statements."""
+        return sum(r.copies for r in self.routines)
+
+
+@dataclass(frozen=True, slots=True)
+class StepReport:
+    """What happened while executing one parallel step.
+
+    Attributes
+    ----------
+    step_name:
+        The step's name.
+    tasks:
+        Number of logical tasks committed (always the step's total on
+        success — commit is all-or-nothing per step).
+    executions:
+        Total task executions, including faulted attempts and eager
+        duplicates; ``executions >= tasks``.
+    faults_masked:
+        Executions that raised a (simulated or real) fault and were
+        transparently retried.
+    duplicates:
+        Extra executions launched by eager scheduling beyond the first
+        attempt per task (excluding fault retries).
+    committed:
+        The merged shared-memory update applied at the end of the step.
+    """
+
+    step_name: str
+    tasks: int
+    executions: int
+    faults_masked: int
+    duplicates: int
+    committed: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Executions per logical task (1.0 = no re-execution at all)."""
+        return self.executions / self.tasks if self.tasks else 0.0

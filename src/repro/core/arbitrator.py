@@ -1,0 +1,190 @@
+"""The system-level QoS arbitrator (Section 3).
+
+"The QoS arbitrator takes advantage of the flexible program specification
+provided by QoS agents to enhance system utilization while satisfying the
+predictability requirements of each application. ... The QoS arbitrator
+scheduling algorithms first choose the best execution path, and then make an
+assignment of which processors will execute which application tasks and for
+what time."
+
+:class:`QoSArbitrator` is the façade a deployment talks to: it owns the
+:class:`~repro.core.schedule.Schedule`, a greedy (rigid or malleable)
+scheduler, and admission control, and exposes job submission plus running
+metrics.  QoS *agents* (:mod:`repro.qos.agent`) negotiate with it on behalf
+of applications.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.greedy import GreedyScheduler
+from repro.core.malleable import MalleableScheduler, MalleableStrategy
+from repro.core.placement import ChainPlacement
+from repro.core.policies import TieBreakPolicy, select_candidate
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.model.job import Job
+from repro.model.quality import QualityComposition, chain_quality
+
+__all__ = ["ArbitrationObjective", "QoSArbitrator"]
+
+
+class ArbitrationObjective(Enum):
+    """What the arbitrator optimizes when choosing among a job's paths."""
+
+    #: Earliest finish time with the paper's tie-breaks (Section 5.2).
+    EARLIEST_FINISH = "earliest-finish"
+    #: First maximize achieved path quality, then earliest finish — the
+    #: "in practice" objective of Section 5.1 ("the issue then is of
+    #: maximizing the achieved job quality").
+    MAX_QUALITY = "max-quality"
+
+
+class QoSArbitrator:
+    """System-wide resource manager for predictable tunable jobs.
+
+    Parameters
+    ----------
+    capacity:
+        Number of homogeneous processors managed.
+    malleable:
+        Select the Section 5.4 malleable placement model instead of the
+        rigid Section 5.3 model.
+    objective:
+        Path-choice objective (see :class:`ArbitrationObjective`).
+    policy:
+        Tie-break policy inside the earliest-finish criterion.
+    strategy / min_processors:
+        Malleable-model knobs, ignored when ``malleable=False``.
+    quality_composition:
+        How per-task qualities compose into a path quality.
+    keep_placements:
+        Retain every committed placement (memory grows with admitted jobs).
+    compact:
+        Compact the availability profile to each arrival time.
+    seed:
+        Seed for the RANDOM tie-break policy only.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        *,
+        malleable: bool = False,
+        objective: ArbitrationObjective = ArbitrationObjective.EARLIEST_FINISH,
+        policy: TieBreakPolicy = TieBreakPolicy.PAPER,
+        strategy: MalleableStrategy = MalleableStrategy.WIDEST_FIRST_FEASIBLE,
+        min_processors: int = 1,
+        quality_composition: QualityComposition = QualityComposition.PRODUCT,
+        keep_placements: bool = True,
+        compact: bool = True,
+        origin: float = 0.0,
+        seed: int | None = None,
+    ) -> None:
+        self.schedule = Schedule(capacity, origin=origin, keep_placements=keep_placements)
+        rng = random.Random(seed) if seed is not None else None
+        if malleable:
+            self.scheduler: GreedyScheduler = MalleableScheduler(
+                self.schedule,
+                policy=policy,
+                strategy=strategy,
+                min_processors=min_processors,
+                rng=rng,
+            )
+        else:
+            self.scheduler = GreedyScheduler(self.schedule, policy=policy, rng=rng)
+        self.objective = objective
+        self.quality_composition = quality_composition
+        self.admission = AdmissionController(self.scheduler, compact=compact)
+        self._quality_sum = 0.0
+        self._quality_possible = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of processors managed."""
+        return self.schedule.capacity
+
+    @property
+    def admitted(self) -> int:
+        """Jobs admitted so far."""
+        return self.admission.admitted
+
+    @property
+    def rejected(self) -> int:
+        """Jobs rejected so far."""
+        return self.admission.rejected
+
+    @property
+    def achieved_quality(self) -> float:
+        """Sum of path qualities over admitted jobs."""
+        return self._quality_sum
+
+    @property
+    def quality_ratio(self) -> float:
+        """Achieved quality over the best possible quality of *offered* jobs."""
+        if self._quality_possible == 0:
+            return 0.0
+        return self._quality_sum / self._quality_possible
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Committed utilization; see :meth:`repro.core.schedule.Schedule.utilization`."""
+        return self.schedule.utilization(horizon)
+
+    def chain_usage(self) -> dict[int, int]:
+        """How many admitted jobs used each configuration index."""
+        return dict(self.admission.decisions_by_chain)
+
+    # ------------------------------------------------------------------
+
+    def submit(self, job: Job) -> AdmissionDecision:
+        """Admission-control one job and commit its chosen configuration.
+
+        Jobs must be submitted in non-decreasing release order when profile
+        compaction is enabled (the default), matching an arrival process.
+        """
+        self._quality_possible += job.best_quality(self.quality_composition)
+        if self.objective is ArbitrationObjective.EARLIEST_FINISH:
+            decision = self.admission.offer(job)
+        elif self.objective is ArbitrationObjective.MAX_QUALITY:
+            decision = self._offer_max_quality(job)
+        else:  # pragma: no cover - closed enum
+            raise ConfigurationError(f"unknown objective {self.objective!r}")
+        if decision.admitted and decision.placement is not None:
+            self._quality_sum += chain_quality(
+                decision.placement.chain, self.quality_composition
+            )
+        return decision
+
+    def _offer_max_quality(self, job: Job) -> AdmissionDecision:
+        """Admission with quality-first path choice."""
+        admission = self.admission
+        if admission.compact:
+            self.schedule.compact(job.release)
+        cands = self.scheduler.candidates(job)
+        if not cands:
+            admission.rejected += 1
+            return AdmissionDecision(
+                job.job_id, False, None, reason="no schedulable configuration"
+            )
+        best_q = max(
+            chain_quality(c.chain, self.quality_composition) for c in cands
+        )
+        top = [
+            c
+            for c in cands
+            if chain_quality(c.chain, self.quality_composition) >= best_q - 1e-12
+        ]
+        chosen: ChainPlacement = select_candidate(
+            self.schedule, top, self.scheduler.policy, self.scheduler.rng
+        )
+        self.schedule.commit(chosen)
+        admission.admitted += 1
+        admission.decisions_by_chain[chosen.chain_index] = (
+            admission.decisions_by_chain.get(chosen.chain_index, 0) + 1
+        )
+        return AdmissionDecision(job.job_id, True, chosen)

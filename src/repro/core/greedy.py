@@ -1,0 +1,148 @@
+"""The greedy heuristic for rigid (non-malleable) tunable jobs (Section 5.2).
+
+"The heuristic greedily allocates resources to jobs using a first fit
+policy.  For a tunable job with multiple schedulable configurations, the
+heuristic finds among all of them the one that most efficiently uses the
+system. ... A job is schedulable if all the tasks on its task chain (any one
+of the task chains for a tunable job) can be scheduled into available holes
+while meeting the task deadlines."
+
+Per-task first fit (earliest feasible start) composed along a chain is
+*dominant* for chains: starting a task at its earliest feasible time can
+only enlarge the feasible start set of every successor, so the per-chain
+placement returned here achieves that chain's minimum possible finish time
+under the committed profile — which is why "under the assumptions of our
+task model, the heuristic finds the job configuration which achieves the
+earliest finish time."
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.first_fit import earliest_fit
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.policies import TieBreakPolicy, select_candidate
+from repro.core.schedule import Schedule
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+
+__all__ = ["GreedyScheduler"]
+
+
+class GreedyScheduler:
+    """First-fit greedy scheduler over a shared :class:`Schedule`.
+
+    Parameters
+    ----------
+    schedule:
+        The committed schedule this scheduler reads and (on
+        :meth:`schedule_job`) writes.
+    policy:
+        Tie-break rule among equally-early-finishing configurations.
+    rng:
+        Only used by :attr:`TieBreakPolicy.RANDOM`.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        policy: TieBreakPolicy = TieBreakPolicy.PAPER,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.schedule = schedule
+        self.policy = policy
+        self.rng = rng
+
+    # ------------------------------------------------------------------
+
+    def _quick_reject(self, chain: TaskChain) -> bool:
+        """Cheap necessary-condition check before running first fit.
+
+        Overridden by the malleable scheduler, whose reshaping invalidates
+        the rigid width/duration bounds used here.
+        """
+        return chain.is_trivially_infeasible(self.schedule.capacity)
+
+    def place_chain(
+        self,
+        chain: TaskChain,
+        release: float,
+        job_id: int = -1,
+        chain_index: int = 0,
+    ) -> ChainPlacement | None:
+        """Tentatively place every task of ``chain`` by first fit.
+
+        Does **not** modify the schedule.  Returns ``None`` as soon as any
+        task cannot meet its deadline.
+        """
+        profile = self.schedule.profile
+        earliest = max(release, profile.origin)
+        placements: list[Placement] = []
+        for task in chain.tasks:
+            start = earliest_fit(
+                profile,
+                task.processors,
+                task.duration,
+                earliest,
+                release + task.deadline,
+            )
+            if start is None:
+                return None
+            placements.append(Placement.rigid(task, start))
+            earliest = start + task.duration
+        return ChainPlacement(
+            job_id=job_id,
+            chain_index=chain_index,
+            chain=chain,
+            placements=tuple(placements),
+            release=release,
+        )
+
+    def candidates(self, job: Job) -> list[ChainPlacement]:
+        """Tentative placements for every schedulable configuration of ``job``."""
+        out: list[ChainPlacement] = []
+        for idx, chain in enumerate(job.chains):
+            if self._quick_reject(chain):
+                continue
+            cp = self.place_chain(chain, job.release, job.job_id, idx)
+            if cp is not None:
+                out.append(cp)
+        return out
+
+    def choose(self, job: Job) -> ChainPlacement | None:
+        """Best schedulable configuration of ``job`` (not committed)."""
+        cands = self.candidates(job)
+        if not cands:
+            return None
+        return select_candidate(self.schedule, cands, self.policy, self.rng)
+
+    def schedule_job(self, job: Job) -> ChainPlacement | None:
+        """Choose and *commit* the best configuration; ``None`` if rejected."""
+        chosen = self.choose(job)
+        if chosen is not None:
+            self.schedule.commit(chosen)
+        return chosen
+
+    # ------------------------------------------------------------------
+
+    def choose_among(
+        self, job: Job, chain_indices: Sequence[int]
+    ) -> ChainPlacement | None:
+        """Like :meth:`choose` restricted to a subset of configurations.
+
+        Used by baseline experiments that strip tunability from a job
+        without rebuilding it.
+        """
+        cands: list[ChainPlacement] = []
+        for idx in chain_indices:
+            chain = job.chains[idx]
+            if self._quick_reject(chain):
+                continue
+            cp = self.place_chain(chain, job.release, job.job_id, idx)
+            if cp is not None:
+                cands.append(cp)
+        if not cands:
+            return None
+        return select_candidate(self.schedule, cands, self.policy, self.rng)

@@ -1,0 +1,146 @@
+"""Malleable-task scheduling (Section 5.4).
+
+A malleable task "can use any number of processors up to its degree of
+concurrency" with work-conserving duration scaling (systems like Calypso
+"support malleable tasks: the programmer specifies only the logical
+concurrency of the application, which is flexibly mapped to available
+processors at runtime").
+
+"When allocating resources to a malleable task, our heuristic tries various
+configurations of the task, starting from the highest number of processors
+the task can use."  The sentence leaves the stopping rule open; we implement
+both defensible readings as :class:`MalleableStrategy`:
+
+* ``WIDEST_FIRST_FEASIBLE`` (default, the literal reading): scan processor
+  counts from the degree of concurrency downward and take the *first* count
+  whose first-fit placement meets the task deadline.
+* ``EARLIEST_FINISH``: scan all counts, take the placement finishing
+  earliest; ties favour the wider configuration.
+
+``benchmarks/bench_ablation_malleable.py`` compares the two.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+
+from repro.core.first_fit import earliest_fit
+from repro.core.greedy import GreedyScheduler
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.policies import TieBreakPolicy
+from repro.core.resources import TIME_EPS
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+
+__all__ = ["MalleableStrategy", "MalleableScheduler"]
+
+
+class MalleableStrategy(Enum):
+    """How a malleable task picks its processor count (see module docs)."""
+
+    WIDEST_FIRST_FEASIBLE = "widest-first-feasible"
+    EARLIEST_FINISH = "earliest-finish"
+
+
+class MalleableScheduler(GreedyScheduler):
+    """Greedy scheduler that reshapes tasks to available processors.
+
+    Inherits the tunable-configuration choice machinery from
+    :class:`~repro.core.greedy.GreedyScheduler`; only per-task placement
+    changes.
+
+    Parameters
+    ----------
+    min_processors:
+        Lower bound on the processor counts tried (default 1).  Raising it
+        models applications whose per-processor efficiency collapses below a
+        minimum width.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        policy: TieBreakPolicy = TieBreakPolicy.PAPER,
+        strategy: MalleableStrategy = MalleableStrategy.WIDEST_FIRST_FEASIBLE,
+        min_processors: int = 1,
+        rng: random.Random | None = None,
+    ) -> None:
+        super().__init__(schedule, policy, rng)
+        if min_processors < 1:
+            raise ConfigurationError(
+                f"min_processors must be >= 1, got {min_processors}"
+            )
+        self.strategy = strategy
+        self.min_processors = min_processors
+
+    # ------------------------------------------------------------------
+
+    def _quick_reject(self, chain: TaskChain) -> bool:
+        """Necessary-condition check using the *fastest* reshape of each task.
+
+        The rigid check of the base class is wrong here: a task wider than
+        the machine can shrink, and a task can beat its rigid duration by
+        widening.  This uses each task's minimum achievable duration and the
+        plain per-task deadlines (no successor tightening, which would also
+        assume rigid durations).
+        """
+        cap = self.schedule.capacity
+        elapsed = 0.0
+        for task in chain.tasks:
+            width_cap = min(task.max_concurrency, cap)
+            if width_cap < self.min_processors:
+                return True
+            elapsed += task.area / width_cap
+            if elapsed > task.deadline + TIME_EPS:
+                return True
+        return False
+
+    def _place_task(
+        self, task: TaskSpec, earliest: float, deadline: float
+    ) -> Placement | None:
+        """Place one malleable task per the configured strategy."""
+        profile = self.schedule.profile
+        width_cap = min(task.max_concurrency, profile.capacity)
+        if width_cap < self.min_processors:
+            return None
+        area = task.area
+        best: Placement | None = None
+        for procs in range(width_cap, self.min_processors - 1, -1):
+            duration = area / procs
+            start = earliest_fit(profile, procs, duration, earliest, deadline)
+            if start is None:
+                continue
+            placement = Placement(task, start, procs, duration)
+            if self.strategy is MalleableStrategy.WIDEST_FIRST_FEASIBLE:
+                return placement
+            if best is None or placement.end < best.end - TIME_EPS:
+                best = placement
+        return best
+
+    def place_chain(
+        self,
+        chain: TaskChain,
+        release: float,
+        job_id: int = -1,
+        chain_index: int = 0,
+    ) -> ChainPlacement | None:
+        """Tentatively place ``chain``, reshaping each task as allowed."""
+        profile = self.schedule.profile
+        earliest = max(release, profile.origin)
+        placements: list[Placement] = []
+        for task in chain.tasks:
+            pl = self._place_task(task, earliest, release + task.deadline)
+            if pl is None:
+                return None
+            placements.append(pl)
+            earliest = pl.end
+        return ChainPlacement(
+            job_id=job_id,
+            chain_index=chain_index,
+            chain=chain,
+            placements=tuple(placements),
+            release=release,
+        )

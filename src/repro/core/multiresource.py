@@ -1,0 +1,196 @@
+"""Multi-resource (vector) requests — the general model of Section 3.1.
+
+"Resource requirements can be thought of as a vector of values, one for
+each resource in the system."  The paper then specializes to processors
+("for the purposes of this paper, resource-request is a processor-time
+tuple"); this module implements the general vector model so QoS agents can
+express, e.g., processors *and* memory *and* I/O bandwidth, with the same
+first-fit/maximal-hole machinery applied conjunctively across resources.
+
+Design: a :class:`MultiResourceProfile` keeps one
+:class:`~repro.core.profile.AvailabilityProfile` per named resource; a
+vector request fits at time ``s`` iff it fits *every* resource profile at
+``s``.  The earliest conjunctive fit is found by fixpoint iteration over
+the per-resource earliest fits: start from the release time, ask each
+resource for its earliest fit at or after the current candidate, and take
+the max; repeat until stable.  Each round either terminates or advances the
+candidate past at least one profile breakpoint, so the search is bounded by
+the total number of segments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Iterator, Mapping
+
+from repro.core.first_fit import earliest_fit
+from repro.core.profile import AvailabilityProfile
+from repro.core.resources import TIME_EPS
+from repro.errors import ConfigurationError, InvalidTaskError, SchedulingError
+
+__all__ = ["VectorRequest", "MultiResourceProfile", "earliest_vector_fit"]
+
+
+@dataclass(frozen=True, slots=True)
+class VectorRequest:
+    """A non-preemptive request for several resources over one duration.
+
+    Attributes
+    ----------
+    amounts:
+        Resource name → positive integer units required simultaneously.
+    duration:
+        How long all of them are held (one duration; the task is a single
+        rectangle in every resource's dimension-time plane).
+    """
+
+    amounts: Mapping[str, int]
+    duration: float
+
+    def __post_init__(self) -> None:
+        amounts = dict(self.amounts)
+        if not amounts:
+            raise InvalidTaskError("a vector request needs at least one resource")
+        for name, units in amounts.items():
+            if not isinstance(units, int) or isinstance(units, bool) or units <= 0:
+                raise InvalidTaskError(
+                    f"resource {name!r}: units must be a positive int, got {units!r}"
+                )
+        if not (self.duration > 0) or math.isinf(self.duration):
+            raise InvalidTaskError(
+                f"duration must be positive and finite, got {self.duration!r}"
+            )
+        object.__setattr__(self, "amounts", MappingProxyType(amounts))
+
+    @property
+    def resources(self) -> frozenset[str]:
+        """The resource names this request touches."""
+        return frozenset(self.amounts)
+
+    def area(self, resource: str) -> float:
+        """Units x duration consumed on one resource."""
+        return self.amounts[resource] * self.duration
+
+
+class MultiResourceProfile:
+    """Availability step functions for a set of named resources.
+
+    Parameters
+    ----------
+    capacities:
+        Resource name → total units (e.g. ``{"cpu": 16, "mem_gb": 64}``).
+    """
+
+    def __init__(self, capacities: Mapping[str, int], origin: float = 0.0) -> None:
+        if not capacities:
+            raise ConfigurationError("at least one resource is required")
+        self._profiles: dict[str, AvailabilityProfile] = {
+            name: AvailabilityProfile(units, origin=origin)
+            for name, units in capacities.items()
+        }
+
+    # ------------------------------------------------------------------
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        """Managed resource names, in declaration order."""
+        return tuple(self._profiles)
+
+    def capacity(self, resource: str) -> int:
+        """Total units of one resource."""
+        return self._profile(resource).capacity
+
+    def profile(self, resource: str) -> AvailabilityProfile:
+        """Read-only view intent: the underlying per-resource profile."""
+        return self._profile(resource)
+
+    def _profile(self, resource: str) -> AvailabilityProfile:
+        try:
+            return self._profiles[resource]
+        except KeyError:
+            raise SchedulingError(f"unknown resource {resource!r}") from None
+
+    def _check_known(self, request: VectorRequest) -> None:
+        for name in request.amounts:
+            self._profile(name)
+
+    # ------------------------------------------------------------------
+
+    def fits_at(self, request: VectorRequest, start: float) -> bool:
+        """True if ``request`` fits every resource throughout its duration."""
+        self._check_known(request)
+        end = start + request.duration
+        return all(
+            self._profiles[name].min_available(start, end) >= units
+            for name, units in request.amounts.items()
+        )
+
+    def reserve(self, request: VectorRequest, start: float) -> None:
+        """Atomically commit the request at ``start`` across all resources.
+
+        On failure (insufficient units on any resource) already-applied
+        per-resource reservations are rolled back and the error propagates.
+        """
+        self._check_known(request)
+        end = start + request.duration
+        applied: list[tuple[str, int]] = []
+        try:
+            for name, units in request.amounts.items():
+                self._profiles[name].reserve(start, end, units)
+                applied.append((name, units))
+        except Exception:
+            for name, units in reversed(applied):
+                self._profiles[name].release(start, end, units)
+            raise
+
+    def release(self, request: VectorRequest, start: float) -> None:
+        """Undo a previous :meth:`reserve`."""
+        self._check_known(request)
+        end = start + request.duration
+        for name, units in request.amounts.items():
+            self._profiles[name].release(start, end, units)
+
+    def check_invariants(self) -> None:
+        """Validate every per-resource profile."""
+        for profile in self._profiles.values():
+            profile.check_invariants()
+
+    def segments(self) -> Iterator[tuple[str, float, float, int]]:
+        """Yield ``(resource, start, end, available)`` across all profiles."""
+        for name, profile in self._profiles.items():
+            for start, end, avail in profile.segments():
+                yield (name, start, end, avail)
+
+
+def earliest_vector_fit(
+    profile: MultiResourceProfile,
+    request: VectorRequest,
+    release: float,
+    deadline: float = math.inf,
+) -> float | None:
+    """Earliest start where ``request`` fits *every* resource (or ``None``).
+
+    Fixpoint iteration over per-resource earliest fits; see the module
+    docstring for the termination argument.
+    """
+    profile._check_known(request)  # noqa: SLF001 - same module family
+    candidate = release
+    for _ in range(1_000_000):  # safety bound; loop exits far earlier
+        moved = False
+        for name, units in request.amounts.items():
+            fit = earliest_fit(
+                profile.profile(name), units, request.duration, candidate, deadline
+            )
+            if fit is None:
+                return None
+            if fit > candidate + TIME_EPS:
+                candidate = fit
+                moved = True
+        if not moved:
+            return candidate
+    raise SchedulingError(
+        "earliest_vector_fit failed to converge; profile breakpoints may be "
+        "pathological"
+    )  # pragma: no cover - defensive

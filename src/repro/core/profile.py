@@ -1,0 +1,341 @@
+"""The free-processor availability profile.
+
+The greedy heuristic of Section 5.2 "keeps track of available maximal holes
+in the processor-time 2D space".  The equivalent primitive implemented here
+is the *availability profile*: a right-open step function ``a(t)`` giving the
+number of free processors at each instant.  Maximal holes are exactly the
+maximal axis-aligned rectangles under this step function and are derived in
+:mod:`repro.core.holes`; all hot-path scheduling operations (reservation,
+earliest-fit search, free-area integrals) run directly on the step function,
+which is both simpler and asymptotically cheaper.
+
+Representation
+--------------
+Two parallel lists ``_times`` and ``_avail``: ``_avail[i]`` processors are
+free throughout ``[_times[i], _times[i+1])``; the last segment extends to
+``+inf``.  ``_times[0]`` is the profile *origin* — the earliest instant the
+profile describes (it advances under :meth:`compact`).
+
+Invariants (checked by :meth:`check_invariants` and the test suite):
+
+* ``_times`` strictly increasing, ``len(_times) == len(_avail) >= 1``;
+* ``0 <= _avail[i] <= capacity`` for all ``i``;
+* adjacent segments have distinct availability (canonical form).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Iterator, Sequence
+
+from repro.errors import CapacityExceededError, ConfigurationError, SchedulingError
+from repro.core.resources import TIME_EPS
+
+__all__ = ["AvailabilityProfile"]
+
+
+class AvailabilityProfile:
+    """Number of free processors as a right-open step function of time.
+
+    Parameters
+    ----------
+    capacity:
+        Total number of (homogeneous) processors in the system.
+    origin:
+        The earliest instant described by the profile; all processors are
+        free from ``origin`` onward in a fresh profile.
+    """
+
+    __slots__ = ("_capacity", "_times", "_avail")
+
+    def __init__(self, capacity: int, origin: float = 0.0) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
+            raise ConfigurationError(f"capacity must be a positive int, got {capacity!r}")
+        if math.isnan(origin) or math.isinf(origin):
+            raise ConfigurationError(f"origin must be finite, got {origin!r}")
+        self._capacity = capacity
+        self._times: list[float] = [origin]
+        self._avail: list[int] = [capacity]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Total number of processors in the system."""
+        return self._capacity
+
+    @property
+    def origin(self) -> float:
+        """Earliest instant described by the profile."""
+        return self._times[0]
+
+    @property
+    def breakpoints(self) -> tuple[float, ...]:
+        """The step-change instants, including the origin."""
+        return tuple(self._times)
+
+    def segments(self) -> Iterator[tuple[float, float, int]]:
+        """Yield ``(start, end, available)`` triples; the last end is ``inf``."""
+        for i, avail in enumerate(self._avail):
+            start = self._times[i]
+            end = self._times[i + 1] if i + 1 < len(self._times) else math.inf
+            yield (start, end, avail)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AvailabilityProfile):
+            return NotImplemented
+        return (
+            self._capacity == other._capacity
+            and self._times == other._times
+            and self._avail == other._avail
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - profiles are mutable
+        raise TypeError("AvailabilityProfile is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"[{s:g},{'inf' if math.isinf(e) else format(e, 'g')}):{a}"
+            for s, e, a in self.segments()
+        )
+        return f"AvailabilityProfile(capacity={self._capacity}, {parts})"
+
+    def copy(self) -> "AvailabilityProfile":
+        """Return an independent deep copy."""
+        new = AvailabilityProfile.__new__(AvailabilityProfile)
+        new._capacity = self._capacity
+        new._times = list(self._times)
+        new._avail = list(self._avail)
+        return new
+
+    @classmethod
+    def from_segments(
+        cls,
+        capacity: int,
+        segments: Sequence[tuple[float, int]],
+    ) -> "AvailabilityProfile":
+        """Build a profile from ``(start_time, available)`` pairs.
+
+        The pairs must be in strictly increasing time order; each pair opens
+        a segment lasting until the next pair (the last to ``+inf``).
+        """
+        if not segments:
+            raise ConfigurationError("from_segments requires at least one segment")
+        prof = cls(capacity, origin=segments[0][0])
+        times: list[float] = []
+        avail: list[int] = []
+        prev_t = -math.inf
+        for t, a in segments:
+            if t <= prev_t:
+                raise ConfigurationError("segment times must be strictly increasing")
+            if not 0 <= a <= capacity:
+                raise ConfigurationError(
+                    f"availability {a} outside [0, {capacity}]"
+                )
+            if avail and avail[-1] == a:  # canonicalize
+                prev_t = t
+                continue
+            times.append(float(t))
+            avail.append(int(a))
+            prev_t = t
+        prof._times = times
+        prof._avail = avail
+        return prof
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def _index_at(self, t: float) -> int:
+        """Index of the segment containing time ``t`` (``t >= origin``)."""
+        if t < self._times[0] - TIME_EPS:
+            raise SchedulingError(
+                f"time {t} precedes profile origin {self._times[0]}"
+            )
+        # bisect_right-1 gives the segment whose start <= t.
+        i = bisect_right(self._times, t) - 1
+        return max(i, 0)
+
+    def available_at(self, t: float) -> int:
+        """Free processors at instant ``t`` (right-open convention)."""
+        return self._avail[self._index_at(t)]
+
+    def min_available(self, t0: float, t1: float) -> int:
+        """Minimum free processors over the interval ``[t0, t1)``.
+
+        Degenerate intervals (``t1 <= t0``) report availability at ``t0``.
+        """
+        if t1 <= t0:
+            return self.available_at(t0)
+        i = self._index_at(t0)
+        lo = self._avail[i]
+        n = len(self._times)
+        i += 1
+        while i < n and self._times[i] < t1 - TIME_EPS:
+            if self._avail[i] < lo:
+                lo = self._avail[i]
+            i += 1
+        return lo
+
+    def free_area(self, t0: float, t1: float) -> float:
+        """Integral of free processors over ``[t0, t1)`` (processor-time)."""
+        if t1 <= t0:
+            return 0.0
+        if math.isinf(t1):
+            raise SchedulingError("free_area requires a finite upper bound")
+        total = 0.0
+        i = self._index_at(t0)
+        n = len(self._times)
+        cur = t0
+        while cur < t1 - TIME_EPS:
+            seg_end = self._times[i + 1] if i + 1 < n else math.inf
+            upper = min(seg_end, t1)
+            total += self._avail[i] * (upper - cur)
+            cur = upper
+            i += 1
+        return total
+
+    def busy_area(self, t0: float, t1: float) -> float:
+        """Integral of *busy* processors over ``[t0, t1)``."""
+        if t1 <= t0:
+            return 0.0
+        return self._capacity * (t1 - t0) - self.free_area(t0, t1)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def _split_at(self, t: float) -> int:
+        """Ensure a breakpoint exists at ``t``; return its segment index.
+
+        Times within :data:`TIME_EPS` of an existing breakpoint are snapped
+        to it rather than creating a sliver segment.
+        """
+        i = self._index_at(t)
+        if abs(self._times[i] - t) <= TIME_EPS:
+            return i
+        if i + 1 < len(self._times) and abs(self._times[i + 1] - t) <= TIME_EPS:
+            return i + 1
+        self._times.insert(i + 1, t)
+        self._avail.insert(i + 1, self._avail[i])
+        return i + 1
+
+    def _canonicalize(self, lo: int, hi: int) -> None:
+        """Merge equal-availability neighbours in index window [lo-1, hi+1]."""
+        start = max(lo - 1, 0)
+        end = min(hi + 1, len(self._avail) - 1)
+        i = max(start, 1)
+        while i <= end and i < len(self._avail):
+            if self._avail[i] == self._avail[i - 1]:
+                del self._avail[i]
+                del self._times[i]
+                end -= 1
+            else:
+                i += 1
+
+    def _max_available(self, t0: float, t1: float) -> int:
+        """Maximum free processors over ``[t0, t1)``."""
+        i = self._index_at(t0)
+        hi = self._avail[i]
+        n = len(self._times)
+        i += 1
+        while i < n and self._times[i] < t1 - TIME_EPS:
+            if self._avail[i] > hi:
+                hi = self._avail[i]
+            i += 1
+        return hi
+
+    def _shift(self, t0: float, t1: float, delta: int) -> None:
+        """Add ``delta`` free processors over ``[t0, t1)``, validating bounds.
+
+        Validation happens *before* any mutation, so a rejected operation
+        leaves the profile bit-identical (no stray breakpoints).
+        """
+        if math.isnan(t0) or math.isnan(t1):
+            raise SchedulingError("reservation times must not be NaN")
+        if t1 <= t0 + TIME_EPS:
+            raise SchedulingError(
+                f"reservation interval [{t0}, {t1}) is empty or inverted"
+            )
+        if math.isinf(t1):
+            raise SchedulingError("reservations must have a finite end time")
+        if delta < 0 and self.min_available(t0, t1) < -delta:
+            raise CapacityExceededError(
+                f"reserving {-delta} processors over [{t0}, {t1}) would "
+                f"exceed capacity: only {self.min_available(t0, t1)} free at "
+                "the tightest instant"
+            )
+        if delta > 0 and self._max_available(t0, t1) + delta > self._capacity:
+            raise CapacityExceededError(
+                f"releasing {delta} processors over [{t0}, {t1}) would "
+                f"exceed capacity {self._capacity}"
+            )
+        i0 = self._split_at(t0)
+        i1 = self._split_at(t1)
+        for i in range(i0, i1):
+            self._avail[i] += delta
+        self._canonicalize(i0, i1)
+
+    def reserve(self, t0: float, t1: float, processors: int) -> None:
+        """Commit ``processors`` CPUs over ``[t0, t1)``.
+
+        Raises :class:`~repro.errors.CapacityExceededError` if any instant in
+        the interval has fewer than ``processors`` free; the profile is left
+        unmodified in that case.
+        """
+        if processors <= 0:
+            raise SchedulingError(f"processors must be positive, got {processors}")
+        self._shift(t0, t1, -processors)
+
+    def release(self, t0: float, t1: float, processors: int) -> None:
+        """Undo a reservation of ``processors`` CPUs over ``[t0, t1)``."""
+        if processors <= 0:
+            raise SchedulingError(f"processors must be positive, got {processors}")
+        self._shift(t0, t1, processors)
+
+    def compact(self, before: float) -> None:
+        """Forget structure earlier than ``before``.
+
+        Scheduling decisions never place work before the current arrival
+        time, so segments wholly before ``before`` can be merged into a
+        single leading segment.  This bounds profile growth to O(live
+        allocations) over arbitrarily long simulations.  The availability
+        *at* ``before`` is preserved; history before it is not (callers that
+        need utilization integrals account for areas at commit time).
+        """
+        if before <= self._times[0]:
+            return
+        i = self._index_at(before)
+        if i == 0:
+            return
+        # Keep segment i onward; re-anchor its start at `before` only if the
+        # origin moves past the old breakpoint.
+        self._times = self._times[i:]
+        self._avail = self._avail[i:]
+        if self._times[0] < before:
+            self._times[0] = before
+        self._canonicalize(0, 0)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`~repro.errors.SchedulingError` on any broken invariant."""
+        if len(self._times) != len(self._avail) or not self._times:
+            raise SchedulingError("profile arrays out of sync or empty")
+        for a, b in zip(self._times, self._times[1:]):
+            if not a < b:
+                raise SchedulingError(f"breakpoints not increasing: {a} !< {b}")
+        for a in self._avail:
+            if not 0 <= a <= self._capacity:
+                raise SchedulingError(f"availability {a} out of range")
+        for a, b in zip(self._avail, self._avail[1:]):
+            if a == b:
+                raise SchedulingError("profile not canonical: equal neighbours")

@@ -1,0 +1,185 @@
+"""The committed schedule: profile + accepted placements + accounting.
+
+The :class:`Schedule` is the QoS arbitrator's single source of truth about
+what has been promised to admitted jobs.  It owns the
+:class:`~repro.core.profile.AvailabilityProfile`, applies/rolls back chain
+placements atomically, keeps the utilization accounting that survives
+profile compaction, and can audit itself end-to-end
+(:meth:`check_consistency`) by replaying every stored placement.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.profile import AvailabilityProfile
+from repro.errors import ScheduleConsistencyError
+
+__all__ = ["Schedule"]
+
+
+class Schedule:
+    """Mutable record of all committed allocations on ``capacity`` processors.
+
+    Parameters
+    ----------
+    capacity:
+        Number of processors in the system.
+    origin:
+        Virtual time at which the system becomes available.
+    keep_placements:
+        When True (default) every committed :class:`ChainPlacement` is
+        retained for auditing, tracing and Gantt rendering.  Long-running
+        simulations that only need aggregate metrics may disable this to
+        keep memory flat; consistency auditing then only covers the profile
+        invariants.
+    """
+
+    def __init__(
+        self, capacity: int, origin: float = 0.0, keep_placements: bool = True
+    ) -> None:
+        self.profile = AvailabilityProfile(capacity, origin=origin)
+        self._keep = keep_placements
+        self._placements: list[ChainPlacement] = []
+        self._committed_area = 0.0
+        self._committed_jobs = 0
+        self._first_release = math.inf
+        self._last_finish = -math.inf
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Number of processors managed by this schedule."""
+        return self.profile.capacity
+
+    @property
+    def placements(self) -> tuple[ChainPlacement, ...]:
+        """All committed chain placements (empty if ``keep_placements=False``)."""
+        return tuple(self._placements)
+
+    @property
+    def committed_area(self) -> float:
+        """Total processor-time promised to admitted jobs so far."""
+        return self._committed_area
+
+    @property
+    def committed_jobs(self) -> int:
+        """Number of chain placements committed so far."""
+        return self._committed_jobs
+
+    @property
+    def first_release(self) -> float:
+        """Earliest release among committed jobs (``inf`` when empty)."""
+        return self._first_release
+
+    @property
+    def last_finish(self) -> float:
+        """Latest finish among committed jobs (``-inf`` when empty)."""
+        return self._last_finish
+
+    def utilization(self, horizon: float | None = None) -> float:
+        """Committed processor-time divided by machine capacity over time.
+
+        The window runs from the earliest committed release to ``horizon``
+        (default: the latest committed finish).  Returns 0.0 for an empty
+        schedule.
+        """
+        if self._committed_jobs == 0:
+            return 0.0
+        end = self._last_finish if horizon is None else horizon
+        span = end - self._first_release
+        if span <= 0:
+            return 0.0
+        return self._committed_area / (self.capacity * span)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def commit(self, cp: ChainPlacement) -> None:
+        """Atomically reserve every task placement of ``cp``.
+
+        Validates the chain placement first; if any reservation fails
+        mid-way (which indicates a scheduler bug — placements are computed
+        against this very profile), already-applied reservations are rolled
+        back before the error propagates.
+        """
+        cp.validate()
+        applied: list[Placement] = []
+        try:
+            for pl in cp.placements:
+                self.profile.reserve(pl.start, pl.end, pl.processors)
+                applied.append(pl)
+        except Exception:
+            for pl in reversed(applied):
+                self.profile.release(pl.start, pl.end, pl.processors)
+            raise
+        if self._keep:
+            self._placements.append(cp)
+        self._committed_area += cp.total_area
+        self._committed_jobs += 1
+        self._first_release = min(self._first_release, cp.release)
+        self._last_finish = max(self._last_finish, cp.finish)
+
+    def rollback(self, cp: ChainPlacement) -> None:
+        """Undo a previously committed chain placement."""
+        for pl in reversed(cp.placements):
+            self.profile.release(pl.start, pl.end, pl.processors)
+        if self._keep:
+            try:
+                self._placements.remove(cp)
+            except ValueError as exc:  # pragma: no cover - misuse guard
+                raise ScheduleConsistencyError(
+                    f"rollback of unknown placement for job {cp.job_id}"
+                ) from exc
+        self._committed_area -= cp.total_area
+        self._committed_jobs -= 1
+
+    def compact(self, before: float) -> None:
+        """Forget profile structure before ``before`` (see profile docs).
+
+        Utilization accounting is unaffected: committed areas were summed at
+        commit time.
+        """
+        self.profile.compact(before)
+
+    # ------------------------------------------------------------------
+    # Auditing
+    # ------------------------------------------------------------------
+
+    def check_consistency(self) -> None:
+        """Audit the whole schedule.
+
+        * profile invariants hold;
+        * every stored chain placement satisfies release/precedence/deadline;
+        * replaying all stored placements onto a fresh profile never exceeds
+          capacity and reproduces the live profile's availability at every
+          stored breakpoint (only meaningful when ``keep_placements=True``
+          and :meth:`compact` has not been used).
+
+        Raises :class:`~repro.errors.ScheduleConsistencyError` on failure.
+        """
+        self.profile.check_invariants()
+        if not self._keep:
+            return
+        replay = AvailabilityProfile(self.capacity, origin=self.profile.origin)
+        for cp in self._placements:
+            cp.validate()
+            for pl in cp.placements:
+                if pl.start < self.profile.origin:
+                    continue  # compacted history; cannot replay
+                replay.reserve(pl.start, pl.end, pl.processors)
+
+    def gantt_rows(self) -> Iterable[tuple[int, str, float, float, int]]:
+        """Yield ``(job_id, task_name, start, end, processors)`` rows.
+
+        A convenience for trace/Gantt rendering in :mod:`repro.sim.trace`.
+        """
+        for cp in self._placements:
+            for pl in cp.placements:
+                yield (cp.job_id, pl.task.name, pl.start, pl.end, pl.processors)

@@ -1,0 +1,12 @@
+"""Experiment runners — one per paper table/figure, plus ablations.
+
+Each runner regenerates the rows/series of one figure of the paper's
+evaluation section (see DESIGN.md's per-experiment index) and returns both
+the raw results and a rendered text report.  ``python -m repro.experiments
+<id>`` runs one from the command line; the benchmark harness under
+``benchmarks/`` wraps the same runners in pytest-benchmark.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

@@ -1,0 +1,44 @@
+"""Command-line entry: ``python -m repro.experiments <id> [<id> ...]``.
+
+Set ``REPRO_FULL_SCALE=1`` for the paper's 10,000-arrival runs; the default
+is 2,000 arrivals per point (identical qualitative shapes, minutes faster).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids (default: all). Known: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment ids and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in sorted(EXPERIMENTS):
+            print(exp_id)
+        return 0
+
+    targets = args.experiments or sorted(EXPERIMENTS)
+    for exp_id in targets:
+        print(f"=== {exp_id} ===")
+        print(run_experiment(exp_id))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

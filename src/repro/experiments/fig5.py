@@ -1,0 +1,71 @@
+"""Figure 5: tunability benefits for non-malleable tasks (Section 5.3).
+
+Four panels, each sweeping one parameter of the synthetic Figure-4 task
+system with the others fixed at the documented defaults:
+
+* (a) mean arrival interval 10..85,
+* (b) laxity 0.05..0.95,
+* (c) processors 16..64,
+* (d) job shape α over k/16.
+
+Each panel compares the tunable system against the two rigid shapes on the
+paper's two metrics, system utilization and job throughput.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.plots import sweep_chart
+from repro.analysis.tables import format_sweep
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import SweepResult, run_sweep
+
+__all__ = [
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+    "run_fig5d",
+    "render_fig5",
+]
+
+
+def _config(n_jobs: int | None, seed: int) -> SweepConfig:
+    return SweepConfig(n_jobs=presets.n_jobs(n_jobs), seed=seed)
+
+
+def run_fig5a(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> SweepResult:
+    """Sensitivity to inter-arrival time (Figure 5a)."""
+    return run_sweep("interval", presets.FIG5A_INTERVALS, _config(n_jobs, seed))
+
+
+def run_fig5b(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> SweepResult:
+    """Sensitivity to laxity (Figure 5b)."""
+    return run_sweep("laxity", presets.FIG5B_LAXITIES, _config(n_jobs, seed))
+
+
+def run_fig5c(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> SweepResult:
+    """Sensitivity to the number of processors (Figure 5c)."""
+    return run_sweep("processors", presets.FIG5C_PROCESSORS, _config(n_jobs, seed))
+
+
+def run_fig5d(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> SweepResult:
+    """Sensitivity to the job shape alpha (Figure 5d)."""
+    return run_sweep("alpha", presets.FIG5D_ALPHAS, _config(n_jobs, seed))
+
+
+def render_fig5(result: SweepResult, panel: str = "") -> str:
+    """Utilization and throughput tables plus charts for one panel."""
+    parts = [
+        format_sweep(result, "utilization", title=f"fig5{panel}: utilization vs {result.axis}"),
+        format_sweep(result, "throughput", precision=0, title=f"fig5{panel}: throughput vs {result.axis}"),
+        sweep_chart(result, "utilization", title=f"fig5{panel}: utilization"),
+        sweep_chart(result, "throughput", title=f"fig5{panel}: throughput"),
+    ]
+    return "\n".join(parts)

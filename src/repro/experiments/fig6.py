@@ -1,0 +1,97 @@
+"""Figure 6: tunability benefit under the non-malleable vs malleable models.
+
+"The two graphs in each of Figures 6(a) and 6(b) correspond to the
+throughput benefits of tunability over the non-tunable jobs — shape 1 and
+shape 2 — as job arrival interval and laxity are varied."  Panel (a) is the
+rigid model of Section 5.3; panel (b) re-runs the same task system with
+malleable placement (Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analysis.plots import ascii_chart
+from repro.analysis.tables import format_table
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import SweepResult, run_sweep
+
+__all__ = ["Fig6Panel", "run_fig6_panel", "run_fig6a", "run_fig6b", "render_fig6"]
+
+
+@dataclass(frozen=True, slots=True)
+class Fig6Panel:
+    """One Figure-6 panel: both axis sweeps under one task model."""
+
+    malleable: bool
+    interval_sweep: SweepResult
+    laxity_sweep: SweepResult
+
+    def benefit_rows(self, axis: str) -> list[dict[str, object]]:
+        """Throughput-benefit rows (tunable − shape_i) along one axis."""
+        sweep = self.interval_sweep if axis == "interval" else self.laxity_sweep
+        b1 = sweep.benefit("throughput", "shape1")
+        b2 = sweep.benefit("throughput", "shape2")
+        return [
+            {axis: v, "benefit_over_shape1": x1, "benefit_over_shape2": x2}
+            for v, x1, x2 in zip(sweep.values, b1, b2)
+        ]
+
+
+def run_fig6_panel(
+    malleable: bool,
+    n_jobs: int | None = None,
+    seed: int = presets.DEFAULT_SEED,
+) -> Fig6Panel:
+    """Both sweeps of one panel, under the given task model."""
+    cfg = SweepConfig(
+        n_jobs=presets.n_jobs(n_jobs), seed=seed, malleable=malleable
+    )
+    return Fig6Panel(
+        malleable=malleable,
+        interval_sweep=run_sweep("interval", presets.FIG6_INTERVALS, cfg),
+        laxity_sweep=run_sweep("laxity", presets.FIG6_LAXITIES, cfg),
+    )
+
+
+def run_fig6a(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> Fig6Panel:
+    """Non-malleable model (Figure 6a)."""
+    return run_fig6_panel(False, n_jobs, seed)
+
+
+def run_fig6b(
+    n_jobs: int | None = None, seed: int = presets.DEFAULT_SEED
+) -> Fig6Panel:
+    """Malleable model (Figure 6b)."""
+    return run_fig6_panel(True, n_jobs, seed)
+
+
+def render_fig6(panel: Fig6Panel) -> str:
+    """Benefit tables and charts for one panel."""
+    tag = "b (malleable)" if panel.malleable else "a (non-malleable)"
+    parts = []
+    for axis in ("interval", "laxity"):
+        rows = panel.benefit_rows(axis)
+        printable = [
+            {**row, axis: format(float(row[axis]), "g")} for row in rows
+        ]
+        parts.append(
+            format_table(
+                printable,
+                precision=0,
+                title=f"fig6{tag}: throughput benefit vs {axis}",
+            )
+        )
+        parts.append(
+            ascii_chart(
+                [float(r[axis]) for r in rows],
+                {
+                    "over shape1": [float(r["benefit_over_shape1"]) for r in rows],
+                    "over shape2": [float(r["benefit_over_shape2"]) for r in rows],
+                },
+                title=f"fig6{tag}: benefit vs {axis}",
+            )
+        )
+    return "\n".join(parts)

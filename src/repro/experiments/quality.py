@@ -1,0 +1,104 @@
+"""Extension experiment: quality degradation under load.
+
+Runs the quality-tiered workload (:mod:`repro.workloads.tiers`) across
+arrival intervals under both arbitration objectives and reports admission,
+achieved quality and tier usage — the "maximizing the achieved job quality"
+problem Section 5.1 points at but defers.
+
+Measured shape (recorded in EXPERIMENTS.md): both objectives degrade
+*gracefully* — the achieved-quality ratio falls smoothly with load, with
+the premium tier's share shrinking first to standard, then economy.  The
+two objectives end up close: narrower tiers are no faster here, so the
+earliest-finish arbitrator's utilization tie-break already favours the
+wide premium tier when it fits, while MAX_QUALITY's insistence on the top
+feasible tier costs it a few admissions under overload.  The experiment's
+value is the degradation curve itself, which the paper's equal-quality
+model cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core.arbitrator import ArbitrationObjective, QoSArbitrator
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import simulate_arrivals
+from repro.workloads import presets
+from repro.workloads.tiers import TieredParams
+
+__all__ = ["QualityPoint", "run_quality_degradation", "render_quality"]
+
+
+@dataclass(frozen=True, slots=True)
+class QualityPoint:
+    """One (interval, objective) outcome."""
+
+    interval: float
+    objective: str
+    offered: int
+    admitted: int
+    quality_ratio: float
+    tier_usage: dict[str, int]
+
+    def as_dict(self) -> dict[str, object]:
+        row: dict[str, object] = {
+            "interval": self.interval,
+            "objective": self.objective,
+            "admitted": self.admitted,
+            "quality_ratio": self.quality_ratio,
+        }
+        for label, count in self.tier_usage.items():
+            row[label] = count
+        return row
+
+
+def run_quality_degradation(
+    intervals: tuple[float, ...] = (15.0, 30.0, 45.0, 60.0, 85.0),
+    n_jobs: int | None = None,
+    seed: int = presets.DEFAULT_SEED,
+    processors: int = presets.DEFAULT_PROCESSORS,
+    params: TieredParams | None = None,
+) -> list[QualityPoint]:
+    """Sweep load under both objectives on the tiered workload."""
+    params = params or TieredParams(base=presets.default_params())
+    n = presets.n_jobs(n_jobs)
+    points: list[QualityPoint] = []
+    for interval in intervals:
+        for objective in (
+            ArbitrationObjective.MAX_QUALITY,
+            ArbitrationObjective.EARLIEST_FINISH,
+        ):
+            arbitrator = QoSArbitrator(
+                processors, objective=objective, keep_placements=False
+            )
+            metrics = simulate_arrivals(
+                arbitrator,
+                lambda i, release: params.tiered_job(release),
+                PoissonArrivals(interval, RandomStreams(seed)),
+                n,
+            )
+            usage: dict[str, int] = {t.label: 0 for t in params.tiers}
+            for chain_index, count in metrics.chain_usage.items():
+                usage[params.tier_of_chain_index(chain_index).label] += count
+            points.append(
+                QualityPoint(
+                    interval=interval,
+                    objective=objective.value,
+                    offered=n,
+                    admitted=metrics.admitted,
+                    quality_ratio=arbitrator.quality_ratio,
+                    tier_usage=usage,
+                )
+            )
+    return points
+
+
+def render_quality(points: list[QualityPoint]) -> str:
+    """Comparison table across load and objectives."""
+    return format_table(
+        [p.as_dict() for p in points],
+        precision=3,
+        title="extension: quality degradation under load (tiered workload)",
+    )

@@ -1,0 +1,57 @@
+"""Experiment registry: id → runner returning a rendered text report."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import ablations
+from repro.experiments.fig5 import (
+    render_fig5,
+    run_fig5a,
+    run_fig5b,
+    run_fig5c,
+    run_fig5d,
+)
+from repro.experiments.fig6 import render_fig6, run_fig6a, run_fig6b
+from repro.experiments.best_effort import (
+    render_best_effort,
+    run_best_effort_comparison,
+)
+from repro.experiments.junction_fig2 import render_fig2, run_fig2
+from repro.experiments.quality import render_quality, run_quality_degradation
+from repro.experiments.survival import render_survival, run_survival
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+Runner = Callable[[], str]
+
+EXPERIMENTS: dict[str, Runner] = {
+    "fig5a": lambda: render_fig5(run_fig5a(), "a"),
+    "fig5b": lambda: render_fig5(run_fig5b(), "b"),
+    "fig5c": lambda: render_fig5(run_fig5c(), "c"),
+    "fig5d": lambda: render_fig5(run_fig5d(), "d"),
+    "fig6a": lambda: render_fig6(run_fig6a()),
+    "fig6b": lambda: render_fig6(run_fig6b()),
+    "fig2": lambda: render_fig2(run_fig2()),
+    "best-effort": lambda: render_best_effort(run_best_effort_comparison()),
+    "quality": lambda: render_quality(run_quality_degradation()),
+    "survival": lambda: render_survival(run_survival()),
+    "ablation-policy": ablations.ablation_policy,
+    "ablation-malleable": ablations.ablation_malleable_strategy,
+    "ablation-fit": ablations.ablation_fit_rule,
+    "ablation-conservative": ablations.ablation_conservative,
+    "ablation-bursty": ablations.ablation_bursty,
+}
+
+
+def run_experiment(experiment_id: str) -> str:
+    """Run one registered experiment and return its text report."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+    return runner()

@@ -1,0 +1,49 @@
+"""Calypso language extensions for tunability, as an embedded Python DSL.
+
+Section 4 extends Calypso with three construct families; this package
+mirrors them one-for-one:
+
+=====================  ==========================================
+Paper construct        DSL equivalent
+=====================  ==========================================
+``task_control_parameters { ... }``  :class:`repro.lang.params.ParameterSet`
+``task ... taskend``                 :class:`repro.lang.constructs.TaskConstruct`
+``task_select ... task_selectend``   :class:`repro.lang.constructs.SelectConstruct`
+``task_loop ( expr ) ...``           :class:`repro.lang.constructs.LoopConstruct`
+``when-expr`` / ``loop-expr``        :mod:`repro.lang.expr` (constants + parameters only)
+=====================  ==========================================
+
+The preprocessor (:mod:`repro.lang.preprocess`) plays the role of the
+Calypso preprocessor: it enumerates every execution path of a
+:class:`~repro.lang.program.TunableProgram` into concrete task chains and
+builds the program's :class:`~repro.qos.agent.QoSAgent`.
+"""
+
+from repro.lang.params import ParameterSet
+from repro.lang.expr import Expr, Const, Param, P
+from repro.lang.constructs import (
+    TaskConfig,
+    TaskConstruct,
+    SelectBranch,
+    SelectConstruct,
+    LoopConstruct,
+)
+from repro.lang.program import TunableProgram
+from repro.lang.preprocess import enumerate_paths, build_agent, build_job
+
+__all__ = [
+    "ParameterSet",
+    "Expr",
+    "Const",
+    "Param",
+    "P",
+    "TaskConfig",
+    "TaskConstruct",
+    "SelectBranch",
+    "SelectConstruct",
+    "LoopConstruct",
+    "TunableProgram",
+    "enumerate_paths",
+    "build_agent",
+    "build_job",
+]

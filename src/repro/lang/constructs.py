@@ -1,0 +1,175 @@
+"""The task, task_select and task_loop constructs (Section 4.2).
+
+These are *data* describing program structure; the preprocessor
+(:mod:`repro.lang.preprocess`) enumerates their execution paths.  Semantics
+follow the paper:
+
+* ``task`` wraps one (sequential or parallel) Calypso step and lists its
+  deadline, its control parameters, and the acceptable configurations —
+  ``(param-values, resource-request, quality)`` triples.  A configuration
+  is viable on a path only if its parameter values *unify* with parameters
+  already bound earlier on the path ("this restriction of configurations
+  based on which configurations were selected in an earlier step make
+  explicit the application's ability to tradeoff resource requirements over
+  its lifetime").
+* ``task_select`` offers guarded branches; a branch whose ``when`` expression
+  is true under the current bindings is viable, and its ``finally`` code —
+  restricted here to control-parameter assignments — runs after the branch
+  body ("the finally-code ... together with the when construct permits
+  execution paths to be defined in the program").
+* ``task_loop`` repeats its body ``count`` times, where ``count`` may only
+  involve constants and control parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Union
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ProgramStructureError
+from repro.lang.expr import Expr
+from repro.model.task import TaskSpec
+
+__all__ = [
+    "TaskConfig",
+    "TaskConstruct",
+    "SelectBranch",
+    "SelectConstruct",
+    "LoopConstruct",
+    "Construct",
+    "StepBody",
+]
+
+#: A Calypso step body: called with (shared-memory context, parameter env).
+#: ``None`` for model-only programs that are never executed by the runtime.
+StepBody = Callable[[object, Mapping[str, object]], object]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskConfig:
+    """One acceptable configuration of a task construct.
+
+    ``values`` assigns the construct's ``parameter_list`` positionally —
+    the paper's ``([param-values], [resource-request], quality)`` triple.
+    """
+
+    values: tuple[object, ...]
+    request: ProcessorTimeRequest
+    quality: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True, slots=True)
+class TaskConstruct:
+    """``task [name] [deadline] [parameter-list] [configs] ... taskend``.
+
+    Attributes
+    ----------
+    name:
+        Task name; must be unique within the program.
+    deadline:
+        Relative deadline (time from job release by which this task and all
+        predecessors finish).  May be an :class:`~repro.lang.expr.Expr` over
+        control parameters and loop variables.
+    parameter_list:
+        Control parameters assigned by choosing a configuration.
+    configs:
+        Acceptable configurations (at least one).
+    body:
+        Optional executable step body for runtime integration.
+    max_concurrency:
+        Degree of concurrency for the malleable model (0 = rigid width).
+    """
+
+    name: str
+    deadline: Union[float, Expr]
+    parameter_list: tuple[str, ...]
+    configs: tuple[TaskConfig, ...]
+    body: StepBody | None = None
+    max_concurrency: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameter_list", tuple(self.parameter_list))
+        object.__setattr__(self, "configs", tuple(self.configs))
+        if not self.name:
+            raise ProgramStructureError("task construct needs a name")
+        if not self.configs:
+            raise ProgramStructureError(
+                f"task {self.name!r} declares no configurations"
+            )
+        for cfg in self.configs:
+            if len(cfg.values) != len(self.parameter_list):
+                raise ProgramStructureError(
+                    f"task {self.name!r}: configuration {cfg.values!r} assigns "
+                    f"{len(cfg.values)} values to {len(self.parameter_list)} "
+                    "parameters"
+                )
+
+    def spec_for(self, config: TaskConfig, deadline: float) -> TaskSpec:
+        """Concrete :class:`~repro.model.task.TaskSpec` for one configuration."""
+        return TaskSpec(
+            self.name,
+            config.request,
+            deadline=deadline,
+            quality=config.quality,
+            max_concurrency=self.max_concurrency or config.request.processors,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SelectBranch:
+    """One ``when ... finally ...`` branch of a ``task_select``."""
+
+    when: Union[Expr, bool]
+    body: tuple["Construct", ...]
+    finally_binds: Mapping[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "finally_binds", dict(self.finally_binds))
+
+
+@dataclass(frozen=True, slots=True)
+class SelectConstruct:
+    """``task_select ... task_selectend`` — guarded alternative branches."""
+
+    branches: tuple[SelectBranch, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "branches", tuple(self.branches))
+        if not self.branches:
+            raise ProgramStructureError(
+                f"task_select {self.name!r} has no branches"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class LoopConstruct:
+    """``task_loop ( loop-expr ) ... task_loopend``.
+
+    ``var``, when set, names a pseudo-parameter bound to the iteration
+    index (0-based) while enumerating the body — useful for per-iteration
+    deadlines (``deadline=10.0 + P("k") * 5.0``).
+    """
+
+    count: Union[Expr, int]
+    body: tuple["Construct", ...]
+    var: str = ""
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise ProgramStructureError(f"task_loop {self.name!r} has an empty body")
+        if isinstance(self.count, int) and self.count < 0:
+            raise ProgramStructureError(
+                f"task_loop {self.name!r} has negative count {self.count}"
+            )
+
+
+Construct = Union[TaskConstruct, SelectConstruct, LoopConstruct]

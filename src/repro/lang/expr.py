@@ -1,0 +1,213 @@
+"""Restricted expressions over control parameters.
+
+"Both when-expr and loop-expr can only include constants and control
+parameters, facilitating their evaluation at scheduling time"
+(Section 4.2).  This module provides exactly that restricted expression
+language as a tiny combinator AST: :class:`Const`, :class:`Param`, and the
+arithmetic/comparison/boolean operators built with Python operator
+overloading.  By construction an :class:`Expr` cannot reference anything
+but constants and parameters, so scheduling-time evaluation is total given
+an environment binding the referenced parameters.
+
+Usage::
+
+    from repro.lang.expr import P
+    guard = (P("sampleGranularity") == 16) & (P("mode") != "fast")
+    guard.evaluate({"sampleGranularity": 16, "mode": "slow"})  # True
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+from repro.errors import ControlParameterError, LanguageError
+
+__all__ = ["Expr", "Const", "Param", "P", "as_expr"]
+
+
+class Expr:
+    """Base class for scheduling-time expressions."""
+
+    def evaluate(self, env: Mapping[str, object]) -> Any:
+        """Value of this expression under parameter environment ``env``."""
+        raise NotImplementedError
+
+    def referenced_params(self) -> frozenset[str]:
+        """All parameter names this expression reads."""
+        raise NotImplementedError
+
+    # -- operator sugar --------------------------------------------------
+
+    def _bin(self, other: object, op: Callable[[Any, Any], Any], sym: str) -> "Expr":
+        return _BinOp(self, as_expr(other), op, sym)
+
+    def _rbin(self, other: object, op: Callable[[Any, Any], Any], sym: str) -> "Expr":
+        return _BinOp(as_expr(other), self, op, sym)
+
+    def __add__(self, other: object) -> "Expr":
+        return self._bin(other, operator.add, "+")
+
+    def __radd__(self, other: object) -> "Expr":
+        return self._rbin(other, operator.add, "+")
+
+    def __sub__(self, other: object) -> "Expr":
+        return self._bin(other, operator.sub, "-")
+
+    def __rsub__(self, other: object) -> "Expr":
+        return self._rbin(other, operator.sub, "-")
+
+    def __mul__(self, other: object) -> "Expr":
+        return self._bin(other, operator.mul, "*")
+
+    def __rmul__(self, other: object) -> "Expr":
+        return self._rbin(other, operator.mul, "*")
+
+    def __truediv__(self, other: object) -> "Expr":
+        return self._bin(other, operator.truediv, "/")
+
+    def __rtruediv__(self, other: object) -> "Expr":
+        return self._rbin(other, operator.truediv, "/")
+
+    def __floordiv__(self, other: object) -> "Expr":
+        return self._bin(other, operator.floordiv, "//")
+
+    def __mod__(self, other: object) -> "Expr":
+        return self._bin(other, operator.mod, "%")
+
+    def __eq__(self, other: object) -> "Expr":  # type: ignore[override]
+        return self._bin(other, operator.eq, "==")
+
+    def __ne__(self, other: object) -> "Expr":  # type: ignore[override]
+        return self._bin(other, operator.ne, "!=")
+
+    def __lt__(self, other: object) -> "Expr":
+        return self._bin(other, operator.lt, "<")
+
+    def __le__(self, other: object) -> "Expr":
+        return self._bin(other, operator.le, "<=")
+
+    def __gt__(self, other: object) -> "Expr":
+        return self._bin(other, operator.gt, ">")
+
+    def __ge__(self, other: object) -> "Expr":
+        return self._bin(other, operator.ge, ">=")
+
+    def __and__(self, other: object) -> "Expr":
+        return self._bin(other, lambda a, b: bool(a) and bool(b), "and")
+
+    def __or__(self, other: object) -> "Expr":
+        return self._bin(other, lambda a, b: bool(a) or bool(b), "or")
+
+    def __invert__(self) -> "Expr":
+        return _UnaryOp(self, lambda a: not a, "not")
+
+    def __neg__(self) -> "Expr":
+        return _UnaryOp(self, operator.neg, "-")
+
+    def __hash__(self) -> int:  # __eq__ overloading breaks default hash
+        return id(self)
+
+    def __bool__(self) -> bool:
+        raise LanguageError(
+            "Expr has no truth value at build time; call .evaluate(env) "
+            "(did you use 'and'/'or' instead of '&'/'|'?)"
+        )
+
+
+class Const(Expr):
+    """A literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+
+    def evaluate(self, env: Mapping[str, object]) -> Any:
+        return self.value
+
+    def referenced_params(self) -> frozenset[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+class Param(Expr):
+    """A reference to a control parameter."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name or not name.isidentifier():
+            raise ControlParameterError(
+                f"parameter reference {name!r} is not a valid identifier"
+            )
+        self.name = name
+
+    def evaluate(self, env: Mapping[str, object]) -> Any:
+        if self.name not in env:
+            raise ControlParameterError(
+                f"parameter {self.name!r} unbound at evaluation time"
+            )
+        return env[self.name]
+
+    def referenced_params(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: Short alias used in program texts: ``P("sampleGranularity") == 16``.
+P = Param
+
+
+class _BinOp(Expr):
+    __slots__ = ("left", "right", "op", "sym")
+
+    def __init__(self, left: Expr, right: Expr, op: Callable[[Any, Any], Any], sym: str):
+        self.left = left
+        self.right = right
+        self.op = op
+        self.sym = sym
+
+    def evaluate(self, env: Mapping[str, object]) -> Any:
+        return self.op(self.left.evaluate(env), self.right.evaluate(env))
+
+    def referenced_params(self) -> frozenset[str]:
+        return self.left.referenced_params() | self.right.referenced_params()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.sym} {self.right!r})"
+
+
+class _UnaryOp(Expr):
+    __slots__ = ("operand", "op", "sym")
+
+    def __init__(self, operand: Expr, op: Callable[[Any], Any], sym: str):
+        self.operand = operand
+        self.op = op
+        self.sym = sym
+
+    def evaluate(self, env: Mapping[str, object]) -> Any:
+        return self.op(self.operand.evaluate(env))
+
+    def referenced_params(self) -> frozenset[str]:
+        return self.operand.referenced_params()
+
+    def __repr__(self) -> str:
+        return f"({self.sym} {self.operand!r})"
+
+
+def as_expr(value: object) -> Expr:
+    """Coerce a Python literal to :class:`Const`; pass :class:`Expr` through."""
+    if isinstance(value, Expr):
+        return value
+    if callable(value):
+        raise LanguageError(
+            f"{value!r} is not allowed in a scheduling-time expression; "
+            "when-expr/loop-expr may contain only constants and control "
+            "parameters (Section 4.2)"
+        )
+    return Const(value)

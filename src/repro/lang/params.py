@@ -1,0 +1,83 @@
+"""Control parameters — the ``task_control_parameters`` block (Section 4.2).
+
+"Control parameters are declared (and optionally initialized) within the
+task_control_parameters block. ... These parameters are used by the QoS
+agent, after receiving an allocation of resources from the QoS arbitrator,
+to appropriately configure the program."
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+from repro.errors import ControlParameterError
+
+__all__ = ["ParameterSet"]
+
+_UNSET = object()
+
+
+class ParameterSet:
+    """The declared control parameters of a tunable program.
+
+    Usage::
+
+        params = ParameterSet()
+        params.declare("sampleGranularity")
+        params.declare("searchDistance", default=4)
+
+    or equivalently ``ParameterSet(sampleGranularity=None, searchDistance=4)``
+    (``None`` means "no default").
+    """
+
+    def __init__(self, **declarations: object) -> None:
+        self._defaults: dict[str, object] = {}
+        for name, default in declarations.items():
+            self.declare(name, default)
+
+    def declare(self, name: str, default: object = None) -> None:
+        """Declare ``name``; ``default`` of ``None`` means uninitialized."""
+        if not name or not name.isidentifier():
+            raise ControlParameterError(
+                f"control parameter name {name!r} is not a valid identifier"
+            )
+        if name in self._defaults:
+            raise ControlParameterError(f"control parameter {name!r} re-declared")
+        self._defaults[name] = _UNSET if default is None else default
+
+    # ------------------------------------------------------------------
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._defaults
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._defaults)
+
+    def __len__(self) -> int:
+        return len(self._defaults)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Declared parameter names, in declaration order."""
+        return tuple(self._defaults)
+
+    def require(self, name: str) -> None:
+        """Raise unless ``name`` is declared."""
+        if name not in self._defaults:
+            raise ControlParameterError(
+                f"control parameter {name!r} used but not declared in "
+                "task_control_parameters"
+            )
+
+    def initial_env(self) -> dict[str, object]:
+        """Environment of declared defaults (uninitialized ones omitted)."""
+        return {
+            name: value
+            for name, value in self._defaults.items()
+            if value is not _UNSET
+        }
+
+    def validate_assignment(self, values: Mapping[str, object]) -> None:
+        """Raise if any assigned name is undeclared."""
+        for name in values:
+            self.require(name)

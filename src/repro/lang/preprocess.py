@@ -1,0 +1,236 @@
+"""The preprocessor: enumerate execution paths, build QoS agents.
+
+"The Calypso preprocessor uses these extensions to construct a QoS agent
+for the program which embodies the task graph and tunability aspects of the
+application" (Section 4).  Enumeration threads a control-parameter
+environment through the construct sequence:
+
+* at a ``task``, each configuration whose parameter values *unify* with the
+  environment branches the path and binds its values;
+* at a ``task_select``, each branch whose ``when`` expression is true
+  branches the path; its ``finally`` assignments run (assignment semantics:
+  they may overwrite) after its body;
+* at a ``task_loop``, the body repeats ``count`` times (``count`` evaluated
+  under the environment), with the optional loop variable bound to the
+  iteration index.
+
+Every complete path becomes a :class:`~repro.model.chain.TaskChain` whose
+``params`` record the final environment — the exact configuration the QoS
+agent must apply if that path is granted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import InvalidJobError, ProgramStructureError
+from repro.lang.constructs import (
+    Construct,
+    LoopConstruct,
+    SelectConstruct,
+    TaskConstruct,
+)
+from repro.lang.expr import Expr
+from repro.lang.program import TunableProgram
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.qos.agent import QoSAgent
+
+__all__ = ["PathInfo", "enumerate_paths", "enumerate_paths_detailed", "build_job", "build_agent"]
+
+#: Safety valve against loop/select path explosion.
+DEFAULT_MAX_PATHS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class PathInfo:
+    """One enumerated path: the concrete chain plus its task constructs.
+
+    ``constructs`` aligns 1:1 with ``chain.tasks`` and lets the runtime
+    integration find each task's executable body.
+    """
+
+    chain: TaskChain
+    constructs: tuple[TaskConstruct, ...]
+
+    @property
+    def params(self) -> Mapping[str, object]:
+        """Final parameter environment selecting this path."""
+        return self.chain.params or {}
+
+
+def _evaluate(value: object, env: Mapping[str, object]) -> object:
+    return value.evaluate(env) if isinstance(value, Expr) else value
+
+
+def _walk(
+    constructs: Sequence[Construct],
+    env: dict[str, object],
+    acc_tasks: list[TaskSpec],
+    acc_constructs: list[TaskConstruct],
+    budget: list[int],
+) -> Iterator[PathInfo]:
+    if not constructs:
+        if not acc_tasks:
+            raise InvalidJobError("an execution path contributed no tasks")
+        budget[0] -= 1
+        if budget[0] < 0:
+            raise ProgramStructureError(
+                "path enumeration exceeded max_paths; raise the limit if the "
+                "program is intentionally this tunable"
+            )
+        yield PathInfo(
+            TaskChain(tuple(acc_tasks), params=dict(env)),
+            tuple(acc_constructs),
+        )
+        return
+
+    head, rest = constructs[0], constructs[1:]
+
+    if isinstance(head, TaskConstruct):
+        for cfg in head.configs:
+            bound: list[str] = []
+            ok = True
+            for pname, pval in zip(head.parameter_list, cfg.values):
+                if pname in env:
+                    if env[pname] != pval:
+                        ok = False
+                        break
+                else:
+                    env[pname] = pval
+                    bound.append(pname)
+            if ok:
+                # Deadline may reference loop variables and the parameters
+                # this very configuration just bound.
+                deadline = _evaluate(head.deadline, env)
+                if not isinstance(deadline, (int, float)) or not deadline > 0:
+                    raise ProgramStructureError(
+                        f"task {head.name!r}: deadline evaluated to {deadline!r}"
+                    )
+                acc_tasks.append(head.spec_for(cfg, float(deadline)))
+                acc_constructs.append(head)
+                yield from _walk(rest, env, acc_tasks, acc_constructs, budget)
+                acc_tasks.pop()
+                acc_constructs.pop()
+            for pname in bound:
+                del env[pname]
+
+    elif isinstance(head, SelectConstruct):
+        any_viable = False
+        for br in head.branches:
+            cond = _evaluate(br.when, env)
+            if not cond:
+                continue
+            any_viable = True
+            # Branch body, then finally assignments, then the rest.  The
+            # finally block uses assignment semantics, so we must snapshot
+            # and restore the overwritten values on backtrack.
+            for sub in _walk(list(br.body) + [_Finally(br.finally_binds)] + list(rest),
+                             env, acc_tasks, acc_constructs, budget):
+                yield sub
+        if not any_viable:
+            # Dead select: no branch ready under these bindings — this path
+            # dies here (matches guard-pruning in the OR-graph model).
+            return
+
+    elif isinstance(head, _Finally):
+        saved: dict[str, object] = {}
+        added: list[str] = []
+        for pname, bound_val in head.binds.items():
+            value = _evaluate(bound_val, env)
+            if pname in env:
+                saved[pname] = env[pname]
+            else:
+                added.append(pname)
+            env[pname] = value
+        yield from _walk(rest, env, acc_tasks, acc_constructs, budget)
+        for pname, old in saved.items():
+            env[pname] = old
+        for pname in added:
+            del env[pname]
+
+    elif isinstance(head, LoopConstruct):
+        count = _evaluate(head.count, env)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+            raise ProgramStructureError(
+                f"task_loop {head.name!r}: count evaluated to {count!r}; "
+                "expected a non-negative integer"
+            )
+        unrolled: list[Construct | _Finally] = []
+        for k in range(count):
+            if head.var:
+                unrolled.append(_Finally({head.var: k}))
+            unrolled.extend(head.body)
+        if head.var:
+            # Leave the loop variable unbound after the loop.
+            unrolled.append(_Unbind(head.var))
+        yield from _walk(unrolled + list(rest), env, acc_tasks, acc_constructs, budget)
+
+    elif isinstance(head, _Unbind):
+        saved_val = env.pop(head.name, _MISSING)
+        yield from _walk(rest, env, acc_tasks, acc_constructs, budget)
+        if saved_val is not _MISSING:
+            env[head.name] = saved_val
+
+    else:  # pragma: no cover - closed union
+        raise ProgramStructureError(f"unknown construct {head!r}")
+
+
+class _Finally:
+    """Internal marker: apply parameter assignments mid-walk."""
+
+    __slots__ = ("binds",)
+
+    def __init__(self, binds: Mapping[str, object]) -> None:
+        self.binds = dict(binds)
+
+
+class _Unbind:
+    """Internal marker: remove a loop variable from the environment."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+_MISSING = object()
+
+
+def enumerate_paths_detailed(
+    program: TunableProgram, max_paths: int = DEFAULT_MAX_PATHS
+) -> list[PathInfo]:
+    """Every viable execution path, with per-task construct back-references."""
+    env = program.parameters.initial_env()
+    budget = [max_paths]
+    paths = list(_walk(list(program.body), env, [], [], budget))
+    if not paths:
+        raise InvalidJobError(
+            f"program {program.name!r} has no viable execution path"
+        )
+    return paths
+
+
+def enumerate_paths(
+    program: TunableProgram, max_paths: int = DEFAULT_MAX_PATHS
+) -> list[TaskChain]:
+    """Every viable execution path as a concrete task chain."""
+    return [p.chain for p in enumerate_paths_detailed(program, max_paths)]
+
+
+def build_job(
+    program: TunableProgram, release: float = 0.0, max_paths: int = DEFAULT_MAX_PATHS
+) -> Job:
+    """The program as a tunable job released at ``release``."""
+    return Job.tunable_of(
+        enumerate_paths(program, max_paths), release=release, name=program.name
+    )
+
+
+def build_agent(
+    program: TunableProgram, max_paths: int = DEFAULT_MAX_PATHS
+) -> QoSAgent:
+    """Construct the program's QoS agent (the preprocessing step of §4)."""
+    return QoSAgent(program.name, enumerate_paths(program, max_paths))

@@ -1,0 +1,141 @@
+"""Tunable programs: declared parameters + construct body + validation.
+
+A :class:`TunableProgram` is the DSL counterpart of a preprocessed Calypso
+source file: the ``task_control_parameters`` block plus the sequence of
+``task`` / ``task_select`` / ``task_loop`` constructs.  Validation enforces
+the static rules the Calypso preprocessor would check — every referenced
+parameter declared, unique task names, scheduling-time expressions reading
+only parameters (and loop variables) in scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ControlParameterError, ProgramStructureError
+from repro.lang.constructs import (
+    Construct,
+    LoopConstruct,
+    SelectConstruct,
+    TaskConstruct,
+)
+from repro.lang.expr import Expr
+from repro.lang.params import ParameterSet
+
+__all__ = ["TunableProgram"]
+
+
+@dataclass(frozen=True, slots=True)
+class TunableProgram:
+    """One tunable application's specification."""
+
+    name: str
+    parameters: ParameterSet
+    body: tuple[Construct, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise ProgramStructureError(f"program {self.name!r} has an empty body")
+        self.validate()
+
+    # ------------------------------------------------------------------
+
+    def tasks(self) -> Iterator[TaskConstruct]:
+        """All task constructs, in document order (loops not unrolled)."""
+
+        def walk(constructs: tuple[Construct, ...]) -> Iterator[TaskConstruct]:
+            for c in constructs:
+                if isinstance(c, TaskConstruct):
+                    yield c
+                elif isinstance(c, SelectConstruct):
+                    for br in c.branches:
+                        yield from walk(br.body)
+                elif isinstance(c, LoopConstruct):
+                    yield from walk(c.body)
+                else:  # pragma: no cover - closed union
+                    raise ProgramStructureError(f"unknown construct {c!r}")
+
+        return walk(self.body)
+
+    def task_by_name(self, name: str) -> TaskConstruct:
+        """Look up a task construct by its (unique) name."""
+        for t in self.tasks():
+            if t.name == name:
+                return t
+        raise ProgramStructureError(
+            f"program {self.name!r} has no task named {name!r}"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _check_expr(self, expr: object, scope: set[str], where: str) -> None:
+        if isinstance(expr, Expr):
+            for p in expr.referenced_params():
+                if p not in scope:
+                    raise ControlParameterError(
+                        f"{where}: expression references {p!r}, which is "
+                        "neither a declared control parameter nor a loop "
+                        "variable in scope"
+                    )
+
+    def _validate_constructs(
+        self, constructs: tuple[Construct, ...], scope: set[str], seen: set[str]
+    ) -> None:
+        for c in constructs:
+            if isinstance(c, TaskConstruct):
+                if c.name in seen:
+                    raise ProgramStructureError(
+                        f"duplicate task name {c.name!r}"
+                    )
+                seen.add(c.name)
+                for p in c.parameter_list:
+                    if p not in scope:
+                        raise ControlParameterError(
+                            f"task {c.name!r}: parameter {p!r} not declared"
+                        )
+                self._check_expr(c.deadline, scope, f"task {c.name!r} deadline")
+                if isinstance(c.deadline, (int, float)) and not c.deadline > 0:
+                    raise ProgramStructureError(
+                        f"task {c.name!r}: deadline must be positive, got "
+                        f"{c.deadline}"
+                    )
+            elif isinstance(c, SelectConstruct):
+                for br in c.branches:
+                    self._check_expr(
+                        br.when, scope, f"task_select {c.name!r} when-expr"
+                    )
+                    for pname, bound in br.finally_binds.items():
+                        if pname not in scope:
+                            raise ControlParameterError(
+                                f"task_select {c.name!r}: finally assigns "
+                                f"undeclared parameter {pname!r}"
+                            )
+                        self._check_expr(
+                            bound, scope, f"task_select {c.name!r} finally"
+                        )
+                    self._validate_constructs(br.body, scope, seen)
+            elif isinstance(c, LoopConstruct):
+                self._check_expr(c.count, scope, f"task_loop {c.name!r} count")
+                inner = set(scope)
+                if c.var:
+                    if not c.var.isidentifier():
+                        raise ControlParameterError(
+                            f"task_loop {c.name!r}: loop variable {c.var!r} "
+                            "is not a valid identifier"
+                        )
+                    if c.var in scope:
+                        raise ControlParameterError(
+                            f"task_loop {c.name!r}: loop variable {c.var!r} "
+                            "shadows a declared parameter"
+                        )
+                    inner.add(c.var)
+                self._validate_constructs(c.body, inner, seen)
+            else:  # pragma: no cover - closed union
+                raise ProgramStructureError(f"unknown construct {c!r}")
+
+    def validate(self) -> None:
+        """Static validation; raises on the first rule violation."""
+        scope = set(self.parameters.names)
+        self._validate_constructs(self.body, scope, set())

@@ -1,0 +1,123 @@
+"""Jobs — possibly-tunable units of arrival, admission and scheduling.
+
+A :class:`Job` carries one or more alternative :class:`~repro.model.chain.TaskChain`
+configurations ("For uniformity, we assume that all paths through an OR
+graph have been enumerated, so a tunable application is represented by
+multiple task chains", Section 5.1) plus its release time.  A *non-tunable*
+job is simply a job with a single chain.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Sequence
+
+from repro.errors import InvalidJobError
+from repro.model.chain import TaskChain
+from repro.model.quality import QualityComposition, chain_quality
+
+__all__ = ["Job"]
+
+_job_counter = itertools.count()
+
+
+def _next_job_id() -> int:
+    return next(_job_counter)
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A unit of work released into the system at :attr:`release`.
+
+    Attributes
+    ----------
+    chains:
+        The enumerated alternative execution paths.  One chain = rigid
+        (non-tunable) job; several = tunable job.
+    release:
+        Absolute arrival time; tasks may not start before it and all
+        (relative) task deadlines are measured from it.
+    job_id:
+        Unique integer identity, auto-assigned if not given.
+    name:
+        Optional human-readable tag (e.g. ``"junction-detect"``).
+    """
+
+    chains: tuple[TaskChain, ...]
+    release: float = 0.0
+    job_id: int = field(default_factory=_next_job_id)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        chains = tuple(self.chains)
+        object.__setattr__(self, "chains", chains)
+        if not chains:
+            raise InvalidJobError("a job must offer at least one chain")
+        for c in chains:
+            if not isinstance(c, TaskChain):
+                raise InvalidJobError(f"job chain {c!r} is not a TaskChain")
+        if math.isnan(self.release) or math.isinf(self.release):
+            raise InvalidJobError(f"release must be finite, got {self.release!r}")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def tunable(self) -> bool:
+        """True when the job offers more than one execution path."""
+        return len(self.chains) > 1
+
+    def __iter__(self) -> Iterator[TaskChain]:
+        return iter(self.chains)
+
+    def __len__(self) -> int:
+        return len(self.chains)
+
+    def absolute_deadline(self, chain: TaskChain) -> float:
+        """Absolute completion deadline of ``chain`` for this job."""
+        return self.release + chain.final_deadline
+
+    def best_quality(
+        self, composition: QualityComposition = QualityComposition.PRODUCT
+    ) -> float:
+        """Highest path quality offered by any chain."""
+        return max(chain_quality(c, composition) for c in self.chains)
+
+    def released_at(self, release: float) -> "Job":
+        """Copy of this job released at a different absolute time.
+
+        Keeps the same ``job_id``; workload generators instead combine a
+        template job with fresh ids via :meth:`instantiate`.
+        """
+        return replace(self, release=release)
+
+    def instantiate(self, release: float, job_id: int | None = None) -> "Job":
+        """Fresh arrival of this job template at ``release``.
+
+        Returns a new job with a new identity (or the one provided), sharing
+        the immutable chain structure.
+        """
+        return replace(
+            self,
+            release=release,
+            job_id=_next_job_id() if job_id is None else job_id,
+        )
+
+    @staticmethod
+    def rigid(chain: TaskChain, release: float = 0.0, name: str = "") -> "Job":
+        """Build a non-tunable (single-chain) job."""
+        return Job(chains=(chain,), release=release, name=name)
+
+    @staticmethod
+    def tunable_of(
+        chains: Sequence[TaskChain], release: float = 0.0, name: str = ""
+    ) -> "Job":
+        """Build a tunable job from several alternative chains."""
+        return Job(chains=tuple(chains), release=release, name=name)
+
+    def describe(self) -> str:
+        """Multi-line rendering of the job and its alternatives."""
+        head = f"job#{self.job_id} {self.name or ''} release={self.release:g}".rstrip()
+        lines = [head] + ["  " + c.describe() for c in self.chains]
+        return "\n".join(lines)

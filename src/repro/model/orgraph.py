@@ -1,0 +1,205 @@
+"""OR task graphs and path enumeration.
+
+Section 3.1: "the application is viewed as an execution path (a chain, or
+more generally, a dag) comprising several tasks ... Tunability is expressed
+by specifying multiple such execution paths".  Section 5.1: "a job is now
+represented by an OR task graph instead of a chain ... we assume that all
+paths through an OR graph have been enumerated".
+
+The representation here is a *staged* OR graph: a sequence of stages, each
+offering one or more :class:`Alternative` branches.  Alternatives carry
+*guards* (control-parameter values that must already hold, mirroring the
+DSL's ``when`` expressions) and *bindings* (control-parameter assignments
+they make, mirroring configuration choice and ``finally`` code).  Path
+enumeration threads a parameter environment through the stages, pruning
+branches whose guards fail — this is exactly how the junction-detection
+program's third step is restricted by the configuration chosen in its first
+step (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import InvalidJobError, ProgramStructureError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+
+__all__ = ["Alternative", "Stage", "ORGraph"]
+
+#: Safety valve for path explosion in deeply tunable programs.
+DEFAULT_MAX_PATHS = 4096
+
+
+@dataclass(frozen=True, slots=True)
+class Alternative:
+    """One branch of a stage.
+
+    Attributes
+    ----------
+    tasks:
+        Concrete tasks this branch contributes to the path (possibly empty —
+        a pure parameter-setting branch).
+    guard:
+        Control-parameter values that must already hold for the branch to be
+        viable.  Every guarded parameter must be *bound* by the time the
+        stage is reached; guarding an unbound parameter is a structural
+        error (the DSL guarantees ``when`` expressions only read parameters
+        assigned by earlier steps).
+    binds:
+        Control-parameter assignments the branch makes (configuration choice
+        plus ``finally``-style derived parameters).  Rebinding a parameter
+        to a *different* value prunes the path; rebinding to the same value
+        is a no-op.
+    label:
+        Human-readable tag used to build the chain label.
+    """
+
+    tasks: tuple[TaskSpec, ...] = ()
+    guard: Mapping[str, object] = field(default_factory=dict)
+    binds: Mapping[str, object] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tasks", tuple(self.tasks))
+        object.__setattr__(self, "guard", dict(self.guard))
+        object.__setattr__(self, "binds", dict(self.binds))
+
+
+@dataclass(frozen=True, slots=True)
+class Stage:
+    """One step of the program: a non-empty set of alternative branches."""
+
+    alternatives: tuple[Alternative, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        alts = tuple(self.alternatives)
+        object.__setattr__(self, "alternatives", alts)
+        if not alts:
+            raise ProgramStructureError(f"stage {self.name!r} has no alternatives")
+
+    @staticmethod
+    def single(task: TaskSpec, name: str = "") -> "Stage":
+        """A stage with exactly one unconditional task."""
+        return Stage((Alternative(tasks=(task,), label=task.name),), name=name or task.name)
+
+
+@dataclass(frozen=True, slots=True)
+class ORGraph:
+    """A staged OR task graph.
+
+    Paths through the graph pick one viable alternative per stage; the
+    concatenation of the alternatives' tasks forms a
+    :class:`~repro.model.chain.TaskChain`.
+    """
+
+    stages: tuple[Stage, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        stages = tuple(self.stages)
+        object.__setattr__(self, "stages", stages)
+        if not stages:
+            raise ProgramStructureError("an OR graph needs at least one stage")
+
+    # ------------------------------------------------------------------
+
+    def path_count_upper_bound(self) -> int:
+        """Product of per-stage branch counts (ignores guard pruning)."""
+        n = 1
+        for s in self.stages:
+            n *= len(s.alternatives)
+        return n
+
+    def _walk(
+        self,
+        stage_idx: int,
+        env: dict[str, object],
+        tasks: list[TaskSpec],
+        labels: list[str],
+        out: list[TaskChain],
+        max_paths: int,
+    ) -> None:
+        if len(out) >= max_paths:
+            raise ProgramStructureError(
+                f"OR graph {self.name!r} enumerates more than {max_paths} paths; "
+                "raise max_paths if this is intentional"
+            )
+        if stage_idx == len(self.stages):
+            if not tasks:
+                raise InvalidJobError(
+                    f"OR graph {self.name!r}: a path contributed no tasks"
+                )
+            out.append(
+                TaskChain(
+                    tuple(tasks),
+                    label="/".join(l for l in labels if l),
+                    params=dict(env),
+                )
+            )
+            return
+        stage = self.stages[stage_idx]
+        for alt in stage.alternatives:
+            viable = True
+            for key, want in alt.guard.items():
+                if key not in env:
+                    raise ProgramStructureError(
+                        f"stage {stage.name!r}: guard reads unbound parameter "
+                        f"{key!r} (guards may only read parameters assigned by "
+                        "earlier stages)"
+                    )
+                if env[key] != want:
+                    viable = False
+                    break
+            if not viable:
+                continue
+            conflict = False
+            added: list[str] = []
+            for key, val in alt.binds.items():
+                if key in env:
+                    if env[key] != val:
+                        conflict = True
+                        break
+                else:
+                    env[key] = val
+                    added.append(key)
+            if not conflict:
+                tasks.extend(alt.tasks)
+                labels.append(alt.label)
+                self._walk(stage_idx + 1, env, tasks, labels, out, max_paths)
+                labels.pop()
+                if alt.tasks:
+                    del tasks[len(tasks) - len(alt.tasks):]
+            for key in added:
+                del env[key]
+
+    def enumerate_chains(
+        self,
+        initial_env: Mapping[str, object] | None = None,
+        max_paths: int = DEFAULT_MAX_PATHS,
+    ) -> list[TaskChain]:
+        """Enumerate every viable path as a concrete task chain.
+
+        Raises :class:`~repro.errors.InvalidJobError` if no path is viable
+        and :class:`~repro.errors.ProgramStructureError` on guard misuse or
+        path explosion beyond ``max_paths``.
+        """
+        out: list[TaskChain] = []
+        env: dict[str, object] = dict(initial_env or {})
+        self._walk(0, env, [], [], out, max_paths)
+        if not out:
+            raise InvalidJobError(
+                f"OR graph {self.name!r} has no viable execution path"
+            )
+        return out
+
+    @staticmethod
+    def from_chains(chains: Sequence[TaskChain], name: str = "") -> "ORGraph":
+        """Degenerate OR graph: a single stage choosing among whole chains."""
+        alts = tuple(
+            Alternative(tasks=c.tasks, label=c.label or f"path{i}")
+            for i, c in enumerate(chains)
+        )
+        return ORGraph((Stage(alts, name="choice"),), name=name)

@@ -1,0 +1,34 @@
+"""The MILAN resource-management architecture (Section 3).
+
+* :mod:`repro.qos.agent` — the application-level QoS agent, generated from
+  a tunable program, that negotiates with the system-level arbitrator.
+* :mod:`repro.qos.negotiation` — the request/grant/reject message protocol.
+* :mod:`repro.qos.contract` — the resource contract an admitted application
+  holds (its allocation profile plus the control-parameter configuration).
+* :mod:`repro.qos.renegotiation` — renegotiation on resource-level change.
+"""
+
+from repro.qos.agent import QoSAgent
+from repro.qos.contract import ResourceContract
+from repro.qos.negotiation import (
+    ReservationGrant,
+    ReservationReject,
+    ReservationRequest,
+    negotiate,
+)
+from repro.qos.renegotiation import CapacityChange, RenegotiationResult, renegotiate
+from repro.qos.revision import RevisionResult, revise_contract
+
+__all__ = [
+    "RevisionResult",
+    "revise_contract",
+    "QoSAgent",
+    "ResourceContract",
+    "ReservationRequest",
+    "ReservationGrant",
+    "ReservationReject",
+    "negotiate",
+    "CapacityChange",
+    "RenegotiationResult",
+    "renegotiate",
+]

@@ -1,0 +1,83 @@
+"""The negotiation protocol between QoS agents and the QoS arbitrator.
+
+Section 3.1's static negotiation model: the agent sends one
+:class:`ReservationRequest` carrying the full enumerated path set; the
+arbitrator answers with a :class:`ReservationGrant` (allocation profile for
+one path, plus the configuration parameters) or a
+:class:`ReservationReject`.  The message types are plain data so they can be
+logged, serialized or replayed; :func:`negotiate` is the in-process
+round-trip.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.errors import NegotiationError
+from repro.model.job import Job
+from repro.qos.contract import ResourceContract
+
+__all__ = [
+    "ReservationRequest",
+    "ReservationGrant",
+    "ReservationReject",
+    "negotiate",
+]
+
+_request_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class ReservationRequest:
+    """Agent → arbitrator: here are all my execution paths; admit me.
+
+    The ``job`` field carries the enumerated chains, each annotated (via
+    ``chain.params``) with the control-parameter assignment that selects it.
+    """
+
+    job: Job
+    request_id: int = field(default_factory=lambda: next(_request_ids))
+
+    @property
+    def release(self) -> float:
+        return self.job.release
+
+
+@dataclass(frozen=True, slots=True)
+class ReservationGrant:
+    """Arbitrator → agent: admitted; here is your allocation profile."""
+
+    request_id: int
+    contract: ResourceContract
+
+
+@dataclass(frozen=True, slots=True)
+class ReservationReject:
+    """Arbitrator → agent: no configuration is schedulable."""
+
+    request_id: int
+    reason: str
+
+
+def negotiate(
+    arbitrator: QoSArbitrator, request: ReservationRequest
+) -> ReservationGrant | ReservationReject:
+    """One static-negotiation round trip against an in-process arbitrator."""
+    decision = arbitrator.submit(request.job)
+    if not decision.admitted or decision.placement is None:
+        return ReservationReject(request.request_id, decision.reason)
+    chain = decision.placement.chain
+    params: Mapping[str, object] = chain.params or {}
+    contract = ResourceContract(
+        job_id=request.job.job_id,
+        placement=decision.placement,
+        params=params,
+    )
+    if contract.chain_index >= len(request.job.chains):
+        raise NegotiationError(
+            f"arbitrator granted unknown chain index {contract.chain_index}"
+        )
+    return ReservationGrant(request.request_id, contract)

@@ -1,0 +1,167 @@
+"""Contract revision on changing application demands (§3.1 extension).
+
+"In general, this negotiation involves an initial allocation that gets
+revised as a function of changing application demands and/or changing
+system conditions."  :mod:`repro.qos.renegotiation` covers the system side
+(capacity change); this module covers the *application* side: a running
+job discovers mid-execution that its remaining work differs from the
+profile it negotiated (junction detection's coarse sampling may mark more
+regions than the training set predicted), and asks the arbitrator to swap
+the not-yet-started suffix of its reservation for a revised one.
+
+Semantics: at revision time ``now``, the placements of the contract's
+tasks that have *started* (``start < now``) are immutable history; the
+unstarted suffix is released back to the profile and the proposed
+replacement suffix is placed by first fit, with each proposal task's
+deadline interpreted relative to the original job release (soft real-time
+budgets do not move because the work grew).  If no proposal fits, the
+original suffix is reinstated untouched — revision is transactional.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.first_fit import earliest_fit
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.schedule import Schedule
+from repro.errors import NegotiationError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+from repro.qos.contract import ResourceContract
+
+__all__ = ["RevisionResult", "revise_contract"]
+
+
+@dataclass(frozen=True, slots=True)
+class RevisionResult:
+    """Outcome of one revision attempt."""
+
+    accepted: bool
+    contract: ResourceContract
+    released_area: float
+    added_area: float
+
+    @property
+    def area_delta(self) -> float:
+        """Net processor-time change of the reservation."""
+        return self.added_area - self.released_area
+
+
+def revise_contract(
+    schedule: Schedule,
+    contract: ResourceContract,
+    now: float,
+    revised_suffix: Sequence[TaskSpec],
+) -> RevisionResult:
+    """Replace the unstarted suffix of ``contract`` with ``revised_suffix``.
+
+    Parameters
+    ----------
+    schedule:
+        The arbitrator's schedule holding the contract's placements.
+    contract:
+        The contract to revise (must have been committed on ``schedule``).
+    now:
+        Current virtual time; tasks with ``start < now`` are immutable.
+    revised_suffix:
+        Replacement specs for every *unstarted* task, in order.  Deadlines
+        are relative to the original job release.  May be longer or shorter
+        than the original suffix, but not empty if any task was unstarted
+        (a job cannot silently drop its remaining work — cancel instead).
+
+    Returns a :class:`RevisionResult`; ``accepted=False`` means the
+    proposal did not fit and the original reservation stands.
+    """
+    old = contract.placement
+    if schedule.placements and old not in schedule.placements:
+        raise NegotiationError(
+            f"contract for job {contract.job_id} is not committed on this "
+            "schedule"
+        )
+    started = [pl for pl in old.placements if pl.start < now]
+    unstarted = [pl for pl in old.placements if pl.start >= now]
+    if not unstarted:
+        raise NegotiationError(
+            f"contract for job {contract.job_id} has no unstarted tasks at "
+            f"t={now}; nothing to revise"
+        )
+    if not revised_suffix:
+        raise NegotiationError("revised suffix must not be empty")
+
+    release = old.release
+    # Transaction: free the unstarted suffix, try the proposal, reinstate on
+    # failure.
+    for pl in unstarted:
+        schedule.profile.release(pl.start, pl.end, pl.processors)
+    released_area = sum(pl.area for pl in unstarted)
+
+    earliest = max(started[-1].end if started else release, now)
+    new_placements: list[Placement] = []
+    cursor = earliest
+    feasible = True
+    for spec in revised_suffix:
+        start = earliest_fit(
+            schedule.profile,
+            spec.processors,
+            spec.duration,
+            cursor,
+            release + spec.deadline,
+        )
+        if start is None:
+            feasible = False
+            break
+        new_placements.append(Placement.rigid(spec, start))
+        cursor = start + spec.duration
+
+    if not feasible:
+        for pl in unstarted:  # reinstate the original suffix
+            schedule.profile.reserve(pl.start, pl.end, pl.processors)
+        return RevisionResult(
+            accepted=False,
+            contract=contract,
+            released_area=0.0,
+            added_area=0.0,
+        )
+
+    added_area = sum(pl.area for pl in new_placements)
+
+    revised_chain = TaskChain(
+        tuple(pl.task for pl in started) + tuple(revised_suffix),
+        label=(old.chain.label + "+rev") if old.chain.label else "revised",
+        params=old.chain.params,
+    )
+    revised_placement = ChainPlacement(
+        job_id=old.job_id,
+        chain_index=old.chain_index,
+        chain=revised_chain,
+        placements=tuple(started) + tuple(new_placements),
+        release=release,
+    )
+
+    # Hand the bookkeeping to the schedule's own transaction primitives:
+    # first restore the pre-revision profile, then swap old for new via
+    # rollback + commit (which re-validates and keeps accounting exact).
+    for pl in unstarted:
+        schedule.profile.reserve(pl.start, pl.end, pl.processors)
+    try:
+        schedule.rollback(old)
+    except Exception as exc:
+        raise NegotiationError(
+            f"contract for job {contract.job_id} is not committed on this "
+            "schedule"
+        ) from exc
+    schedule.commit(revised_placement)
+
+    new_contract = ResourceContract(
+        job_id=contract.job_id,
+        placement=revised_placement,
+        params=contract.params,
+    )
+    return RevisionResult(
+        accepted=True,
+        contract=new_contract,
+        released_area=released_area,
+        added_area=added_area,
+    )

@@ -1,0 +1,117 @@
+"""A small, deterministic discrete-event simulation engine.
+
+The figure-level experiments only need arrival-ordered job submission
+(:mod:`repro.sim.simulator`), but the runtime-level demos — the EDF
+best-effort executor extension and the Calypso integration example — need a
+real engine: handlers scheduling further events, virtual clock, stop
+conditions.  This engine is intentionally minimal and synchronous.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+__all__ = ["SimulationEngine"]
+
+Handler = Callable[["SimulationEngine", Event], None]
+
+
+class SimulationEngine:
+    """Virtual-time event loop with kind-dispatched handlers.
+
+    Usage::
+
+        eng = SimulationEngine()
+        eng.on("arrival", lambda eng, ev: ...)
+        eng.at(3.0, "arrival", payload=job)
+        eng.run()
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._handlers: dict[str, list[Handler]] = {}
+        self._now = start_time
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events handled so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Number of live events awaiting dispatch."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register ``handler`` for events of ``kind`` (append order kept)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def at(self, time: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+        """Schedule an event at absolute virtual time ``time``."""
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        return self._queue.push(Event(time, kind, payload, priority))
+
+    def after(self, delay: float, kind: str, payload: Any = None, priority: int = 0) -> Event:
+        """Schedule an event ``delay`` after the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, kind, payload, priority)
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> Event:
+        """Dispatch exactly one event; returns it."""
+        ev = self._queue.pop()
+        if ev.time < self._now - 1e-12:
+            raise SimulationError(
+                f"event queue yielded past event {ev} at time {self._now}"
+            )
+        self._now = max(self._now, ev.time)
+        self._processed += 1
+        for handler in self._handlers.get(ev.kind, ()):  # deterministic order
+            handler(self, ev)
+        return ev
+
+    def run(self, until: float = math.inf, max_events: int | None = None) -> int:
+        """Run until the queue drains, ``until`` passes, or ``max_events``.
+
+        Returns the number of events processed by this call.  Events at
+        exactly ``until`` are processed.
+        """
+        if self._running:
+            raise SimulationError("engine is not re-entrant")
+        self._running = True
+        count = 0
+        try:
+            while self._queue:
+                if self._queue.peek_time() > until:
+                    break
+                if max_events is not None and count >= max_events:
+                    break
+                self.step()
+                count += 1
+        finally:
+            self._running = False
+        return count

@@ -1,0 +1,111 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ordered by ``(time, priority, seq)``: ties at equal virtual time
+resolve by explicit priority and then by insertion order, making every
+simulation run a deterministic function of its inputs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue"]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled occurrence in virtual time.
+
+    Attributes
+    ----------
+    time:
+        Virtual time at which the event fires.
+    kind:
+        Free-form tag dispatched on by handlers (e.g. ``"arrival"``).
+    payload:
+        Arbitrary data for the handler.
+    priority:
+        Secondary ordering at equal times — smaller fires first.
+    seq:
+        Insertion sequence number (assigned by the queue), the final
+        tie-break.
+    """
+
+    time: float
+    kind: str
+    payload: Any = None
+    priority: int = 0
+    seq: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if math.isnan(self.time):
+            raise SimulationError("event time must not be NaN")
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event`.
+
+    Supports lazy cancellation: :meth:`cancel` marks an event dead; dead
+    events are skipped by :meth:`pop`.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        self._seq = itertools.count()
+        self._dead: set[int] = set()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert ``event``; returns the stamped (seq-assigned) event."""
+        stamped = Event(
+            time=event.time,
+            kind=event.kind,
+            payload=event.payload,
+            priority=event.priority,
+            seq=next(self._seq),
+        )
+        heapq.heappush(self._heap, (stamped.sort_key, stamped))
+        self._live += 1
+        return stamped
+
+    def cancel(self, event: Event) -> None:
+        """Mark a previously pushed event as cancelled (lazy removal)."""
+        if event.seq < 0:
+            raise SimulationError("cannot cancel an event that was never pushed")
+        if event.seq not in self._dead:
+            self._dead.add(event.seq)
+            self._live -= 1
+
+    def peek_time(self) -> float:
+        """Time of the next live event (``inf`` when empty)."""
+        while self._heap and self._heap[0][1].seq in self._dead:
+            _, ev = heapq.heappop(self._heap)
+            self._dead.discard(ev.seq)
+        return self._heap[0][1].time if self._heap else math.inf
+
+    def pop(self) -> Event:
+        """Remove and return the next live event."""
+        while self._heap:
+            _, ev = heapq.heappop(self._heap)
+            if ev.seq in self._dead:
+                self._dead.discard(ev.seq)
+                continue
+            self._live -= 1
+            return ev
+        raise SimulationError("pop from an empty event queue")

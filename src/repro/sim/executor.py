@@ -1,0 +1,230 @@
+"""A best-effort EDF executor (extension; paper §6 context).
+
+The related-work section notes that classic real-time schedulers such as
+EDF lose their optimality guarantees for *parallel* tasks, and the
+introduction argues best-effort parallel resource management gives soft
+real-time applications "arbitrary delay".  This module makes those claims
+measurable: it executes the same job streams as the QoS arbitrator but with
+**no reservations and no admission control** — tasks queue in
+earliest-deadline-first order and start whenever enough processors are
+free.
+
+Semantics
+---------
+* Non-preemptive: a started task holds its processors to completion.
+* A task is dispatched only if it can still meet its deadline
+  (``now + duration <= deadline``); otherwise its whole job is dropped as
+  *late* (its chain cannot complete on time).  Work already spent on a
+  later-dropped job is counted as *wasted*.
+* ``backfill=True`` (default) lets tasks behind a too-wide queue head start
+  if they fit; ``backfill=False`` is strict head-of-line EDF.
+* A tunable job must pick one path up front (there is no negotiation in a
+  best-effort world); :class:`ChainSelector` offers the obvious policies.
+
+The executor runs on the generic discrete-event engine
+(:class:`repro.sim.engine.SimulationEngine`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.sim.engine import SimulationEngine
+
+__all__ = ["ChainSelector", "BestEffortMetrics", "EDFExecutor"]
+
+
+class ChainSelector(Enum):
+    """How a tunable job picks its single path in a best-effort system."""
+
+    #: The first enumerated chain (the application's default).
+    FIRST = "first"
+    #: The chain with the smallest zero-gap execution time.
+    MIN_DURATION = "min-duration"
+    #: The chain with the smallest maximum width (easiest to squeeze in).
+    MIN_WIDTH = "min-width"
+
+
+def _select(job: Job, selector: ChainSelector) -> TaskChain:
+    if selector is ChainSelector.FIRST or len(job.chains) == 1:
+        return job.chains[0]
+    if selector is ChainSelector.MIN_DURATION:
+        return min(job.chains, key=lambda c: c.total_duration)
+    if selector is ChainSelector.MIN_WIDTH:
+        return min(job.chains, key=lambda c: c.max_width)
+    raise ConfigurationError(f"unknown selector {selector!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True, slots=True)
+class BestEffortMetrics:
+    """Outcome of one best-effort run.
+
+    ``on_time`` jobs completed every task by its deadline; ``late`` jobs
+    were dropped when some task could no longer meet its deadline.
+    ``wasted_area`` is processor-time consumed by tasks of jobs that were
+    later dropped — work a reservation-based admission controller would
+    never have started.
+    """
+
+    offered: int
+    on_time: int
+    late: int
+    busy_area: float
+    wasted_area: float
+    horizon: float
+    capacity: int
+
+    @property
+    def on_time_rate(self) -> float:
+        """Fraction of offered jobs finishing entirely on time."""
+        return self.on_time / self.offered if self.offered else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Busy processor-time over capacity x horizon."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.busy_area / (self.capacity * self.horizon)
+
+    @property
+    def goodput_utilization(self) -> float:
+        """Utilization counting only work of on-time jobs."""
+        if self.horizon <= 0:
+            return 0.0
+        return (self.busy_area - self.wasted_area) / (self.capacity * self.horizon)
+
+
+class _JobState:
+    __slots__ = ("job", "chain", "next_task", "consumed_area")
+
+    def __init__(self, job: Job, chain: TaskChain) -> None:
+        self.job = job
+        self.chain = chain
+        self.next_task = 0
+        self.consumed_area = 0.0
+
+
+class EDFExecutor:
+    """Queue-based best-effort execution of parallel real-time job chains.
+
+    Parameters
+    ----------
+    capacity:
+        Number of processors.
+    selector:
+        Path choice for tunable jobs (no negotiation here).
+    backfill:
+        Allow non-head ready tasks to start when the EDF head does not fit.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        selector: ChainSelector = ChainSelector.FIRST,
+        backfill: bool = True,
+    ) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.selector = selector
+        self.backfill = backfill
+        self._engine = SimulationEngine()
+        self._engine.on("arrival", self._on_arrival)
+        self._engine.on("finish", self._on_finish)
+        self._free = capacity
+        self._ready: list[tuple[float, int, _JobState]] = []  # (abs deadline, seq, state)
+        self._seq = itertools.count()
+        self._offered = 0
+        self._on_time = 0
+        self._late = 0
+        self._busy_area = 0.0
+        self._wasted_area = 0.0
+        self._horizon = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run(self, jobs: Iterable[Job]) -> BestEffortMetrics:
+        """Execute a complete arrival sequence to quiescence."""
+        last = -math.inf
+        for job in jobs:
+            if job.release < last:
+                raise SimulationError("jobs must be supplied in release order")
+            last = job.release
+            self._engine.at(job.release, "arrival", payload=job)
+        self._engine.run()
+        return BestEffortMetrics(
+            offered=self._offered,
+            on_time=self._on_time,
+            late=self._late,
+            busy_area=self._busy_area,
+            wasted_area=self._wasted_area,
+            horizon=self._horizon,
+            capacity=self.capacity,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _enqueue(self, state: _JobState) -> None:
+        task = state.chain[state.next_task]
+        abs_deadline = state.job.release + task.deadline
+        heapq.heappush(self._ready, (abs_deadline, next(self._seq), state))
+
+    def _drop(self, state: _JobState) -> None:
+        self._late += 1
+        self._wasted_area += state.consumed_area
+
+    def _dispatch(self, engine: SimulationEngine) -> None:
+        """Start every ready task allowed by EDF order and free processors."""
+        now = engine.now
+        deferred: list[tuple[float, int, _JobState]] = []
+        while self._ready:
+            abs_deadline, seq, state = self._ready[0]
+            task = state.chain[state.next_task]
+            if now + task.duration > abs_deadline + 1e-9:
+                heapq.heappop(self._ready)
+                self._drop(state)  # cannot finish on time any more
+                continue
+            if task.processors > self.capacity:
+                heapq.heappop(self._ready)
+                self._drop(state)  # can never run on this machine
+                continue
+            if task.processors > self._free:
+                if not self.backfill:
+                    break
+                deferred.append(heapq.heappop(self._ready))
+                continue
+            heapq.heappop(self._ready)
+            self._free -= task.processors
+            self._busy_area += task.area
+            state.consumed_area += task.area
+            engine.after(task.duration, "finish", payload=state)
+        for item in deferred:
+            heapq.heappush(self._ready, item)
+
+    # Handlers ----------------------------------------------------------
+
+    def _on_arrival(self, engine: SimulationEngine, event) -> None:
+        job: Job = event.payload
+        self._offered += 1
+        self._enqueue(_JobState(job, _select(job, self.selector)))
+        self._dispatch(engine)
+
+    def _on_finish(self, engine: SimulationEngine, event) -> None:
+        state: _JobState = event.payload
+        task = state.chain[state.next_task]
+        self._free += task.processors
+        self._horizon = max(self._horizon, engine.now)
+        state.next_task += 1
+        if state.next_task == len(state.chain):
+            self._on_time += 1
+        else:
+            self._enqueue(state)
+        self._dispatch(engine)

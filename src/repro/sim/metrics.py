@@ -1,0 +1,139 @@
+"""Run metrics: the paper's two headline measures plus diagnostics.
+
+"We quantify the benefits of tunability in terms of two metrics — system
+utilization and job throughput" (Section 5.3), where throughput counts jobs
+that meet their deadlines (equivalently, admitted jobs, since admission
+guarantees on-time completion in the fault-free model — the simulator still
+verifies this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.core.admission import AdmissionDecision
+
+__all__ = ["RunMetrics", "MetricsCollector"]
+
+
+@dataclass(frozen=True, slots=True)
+class RunMetrics:
+    """Aggregate outcome of one simulated run.
+
+    Attributes
+    ----------
+    offered / admitted / rejected:
+        Job counts; ``throughput`` is an alias for ``admitted``.
+    utilization:
+        Committed processor-time over capacity x [first release, last finish].
+    mean_response / p95_response:
+        Response-time stats over admitted jobs (finish − release).
+    mean_slack:
+        Mean of (absolute deadline − finish) over admitted jobs — how much
+        margin the schedule leaves.
+    chain_usage:
+        Admitted-job count per configuration index (which path won).
+    achieved_quality:
+        Sum of path qualities over admitted jobs.
+    horizon:
+        Last committed finish time (virtual).
+    """
+
+    offered: int
+    admitted: int
+    rejected: int
+    utilization: float
+    mean_response: float
+    p95_response: float
+    mean_slack: float
+    chain_usage: Mapping[int, int]
+    achieved_quality: float
+    horizon: float
+
+    @property
+    def throughput(self) -> int:
+        """Number of on-time jobs (the paper's throughput metric)."""
+        return self.admitted
+
+    @property
+    def admit_rate(self) -> float:
+        """Fraction of offered jobs admitted."""
+        return self.admitted / self.offered if self.offered else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Flat dict for table/report rendering."""
+        return {
+            "offered": self.offered,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "throughput": self.throughput,
+            "admit_rate": self.admit_rate,
+            "utilization": self.utilization,
+            "mean_response": self.mean_response,
+            "p95_response": self.p95_response,
+            "mean_slack": self.mean_slack,
+            "achieved_quality": self.achieved_quality,
+            "horizon": self.horizon,
+        }
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates per-decision observations into a :class:`RunMetrics`."""
+
+    _responses: list[float] = field(default_factory=list)
+    _slacks: list[float] = field(default_factory=list)
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+
+    def observe(self, decision: AdmissionDecision, final_deadline: float | None = None) -> None:
+        """Record one admission decision.
+
+        ``final_deadline`` (absolute) enables slack accounting for admitted
+        jobs; pass ``job.absolute_deadline(chain)`` when available.
+        """
+        self.offered += 1
+        if not decision.admitted or decision.placement is None:
+            self.rejected += 1
+            return
+        self.admitted += 1
+        cp = decision.placement
+        self._responses.append(cp.response_time)
+        if final_deadline is not None:
+            self._slacks.append(final_deadline - cp.finish)
+
+    def finalize(
+        self,
+        utilization: float,
+        chain_usage: Mapping[int, int],
+        achieved_quality: float,
+        horizon: float,
+    ) -> RunMetrics:
+        """Produce the immutable summary."""
+        if self._responses:
+            resp = np.asarray(self._responses)
+            mean_r = float(resp.mean())
+            p95_r = float(np.percentile(resp, 95))
+        else:
+            mean_r = math.nan
+            p95_r = math.nan
+        mean_slack = (
+            float(np.mean(self._slacks)) if self._slacks else math.nan
+        )
+        return RunMetrics(
+            offered=self.offered,
+            admitted=self.admitted,
+            rejected=self.rejected,
+            utilization=utilization,
+            mean_response=mean_r,
+            p95_response=p95_r,
+            mean_slack=mean_slack,
+            chain_usage=dict(chain_usage),
+            achieved_quality=achieved_quality,
+            horizon=horizon,
+        )

@@ -1,0 +1,101 @@
+"""Schedule traces and text Gantt rendering.
+
+Turns a committed :class:`~repro.core.schedule.Schedule` into inspectable
+artifacts: a flat record list, a CSV-ish dump, and an ASCII Gantt chart of
+processor occupancy over time (rows = jobs, columns = time buckets).  These
+are debugging/teaching aids; the experiments consume metrics, not traces.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.schedule import Schedule
+
+__all__ = ["TraceRecord", "schedule_records", "render_gantt", "records_to_csv"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One placed task occurrence."""
+
+    job_id: int
+    chain_index: int
+    task: str
+    start: float
+    end: float
+    processors: int
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def schedule_records(schedule: Schedule) -> list[TraceRecord]:
+    """Flatten a schedule's placements to sorted trace records."""
+    records = [
+        TraceRecord(
+            job_id=cp.job_id,
+            chain_index=cp.chain_index,
+            task=pl.task.name,
+            start=pl.start,
+            end=pl.end,
+            processors=pl.processors,
+        )
+        for cp in schedule.placements
+        for pl in cp.placements
+    ]
+    records.sort(key=lambda r: (r.start, r.job_id, r.task))
+    return records
+
+
+def records_to_csv(records: Sequence[TraceRecord]) -> str:
+    """Render records as CSV text (header included)."""
+    buf = io.StringIO()
+    buf.write("job_id,chain_index,task,start,end,processors\n")
+    for r in records:
+        buf.write(
+            f"{r.job_id},{r.chain_index},{r.task},{r.start:g},{r.end:g},{r.processors}\n"
+        )
+    return buf.getvalue()
+
+
+def render_gantt(
+    schedule: Schedule,
+    width: int = 72,
+    t0: float | None = None,
+    t1: float | None = None,
+) -> str:
+    """ASCII Gantt chart: one row per job, '#' where it holds processors.
+
+    Multi-processor occupancy is annotated with the processor count on the
+    row label; overlapping tasks of the same job merge visually (chains
+    never overlap in time by construction).
+    """
+    records = schedule_records(schedule)
+    if not records:
+        return "(empty schedule)\n"
+    lo = min(r.start for r in records) if t0 is None else t0
+    hi = max(r.end for r in records) if t1 is None else t1
+    if not hi > lo:
+        hi = lo + 1.0
+    scale = width / (hi - lo)
+    by_job: dict[int, list[TraceRecord]] = {}
+    for r in records:
+        by_job.setdefault(r.job_id, []).append(r)
+    lines = [f"time [{lo:g}, {hi:g}] | one column = {(hi - lo) / width:g} units"]
+    for job_id in sorted(by_job):
+        row = [" "] * width
+        widths = set()
+        for r in by_job[job_id]:
+            widths.add(r.processors)
+            a = max(0, min(width - 1, int((r.start - lo) * scale)))
+            b = max(0, min(width, int(math.ceil((r.end - lo) * scale))))
+            for i in range(a, max(b, a + 1)):
+                row[i] = "#"
+        label = f"job{job_id:>5} p={'/'.join(str(w) for w in sorted(widths))}"
+        lines.append(f"{label:<18}|{''.join(row)}|")
+    return "\n".join(lines) + "\n"

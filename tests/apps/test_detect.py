@@ -1,0 +1,151 @@
+"""Unit tests for step 3 and the full junction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.junction.detect import (
+    detect_junctions,
+    harris_response,
+    junction_points,
+)
+from repro.apps.junction.image import synthetic_image
+from repro.apps.junction.quality import match_quality
+from repro.errors import ConfigurationError
+
+
+class TestHarris:
+    def test_shape(self):
+        img = synthetic_image(size=64, n_junctions=2, seed=1)
+        resp = harris_response(img.pixels)
+        assert resp.shape == img.pixels.shape
+
+    def test_flat_image_zero_response(self):
+        flat = np.full((32, 32), 0.7)
+        assert np.allclose(harris_response(flat), 0.0)
+
+    def test_corner_scores_higher_than_edge(self):
+        canvas = np.ones((64, 64))
+        canvas[32:, :] = 0.0          # horizontal edge
+        canvas2 = np.ones((64, 64))
+        canvas2[32:, 32:] = 0.0       # corner at (32, 32)
+        edge_resp = harris_response(canvas)[32, 32]
+        corner_resp = harris_response(canvas2)[32, 32]
+        assert corner_resp > edge_resp
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            harris_response(np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            harris_response(np.zeros((4, 4)), window=2)
+
+
+class TestOrientationRuns:
+    def canvas(self):
+        return np.ones((41, 41))
+
+    def smooth(self, canvas):
+        from scipy import ndimage
+
+        return ndimage.gaussian_filter(canvas, 1.2)
+
+    def test_straight_line_one_orientation(self):
+        from repro.apps.junction.detect import _orientation_runs
+
+        c = self.canvas()
+        c[20, 5:36] = 0.0
+        assert _orientation_runs(self.smooth(c), 20, 20) == 1
+
+    def test_line_endpoint_one_orientation(self):
+        from repro.apps.junction.detect import _orientation_runs
+
+        c = self.canvas()
+        c[20, 20:36] = 0.0
+        assert _orientation_runs(self.smooth(c), 20, 20) == 1
+
+    def test_cross_multiple_orientations(self):
+        from repro.apps.junction.detect import _orientation_runs
+
+        c = self.canvas()
+        c[20, 5:36] = 0.0
+        c[5:36, 20] = 0.0
+        assert _orientation_runs(self.smooth(c), 20, 20) >= 2
+
+    def test_flat_region_zero(self):
+        from repro.apps.junction.detect import _orientation_runs
+
+        assert _orientation_runs(np.full((41, 41), 0.5), 20, 20) == 0
+
+
+class TestJunctionPoints:
+    def test_empty_mask(self):
+        img = synthetic_image(size=64, n_junctions=2, seed=1)
+        pts = junction_points(img.pixels, np.zeros((64, 64), bool))
+        assert pts.shape == (0, 2)
+
+    def test_full_mask_finds_planted(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=3)
+        pts = junction_points(img.pixels, np.ones((128, 128), bool))
+        q = match_quality(pts, img.junctions, tolerance=6.0)
+        assert q.recall >= 0.6
+        assert q.precision >= 0.6  # the orientation filter earns this
+
+    def test_orientation_filter_improves_precision(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=4)
+        mask = np.ones((128, 128), bool)
+        filtered = junction_points(img.pixels, mask)
+        unfiltered = junction_points(img.pixels, mask, min_orientations=1)
+        q_f = match_quality(filtered, img.junctions, tolerance=6.0)
+        q_u = match_quality(unfiltered, img.junctions, tolerance=6.0)
+        assert q_f.precision > q_u.precision
+        assert filtered.shape[0] <= unfiltered.shape[0]
+
+
+class TestDetectJunctions:
+    def test_returns_consistent_result(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=4)
+        result = detect_junctions(img.pixels, granularity=16, search_distance=5.0)
+        assert result.granularity == 16
+        assert result.search_distance == 5.0
+        assert result.work.step1 == result.sample.sampled_count
+        assert result.work.step2 == result.sample.interesting_count
+        assert result.work.total == (
+            result.work.step1 + result.work.step2 + result.work.step3
+        )
+
+    def test_detections_inside_regions(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=5)
+        result = detect_junctions(img.pixels, granularity=16, search_distance=5.0)
+        mask = np.zeros(img.pixels.shape, bool)
+        for region in result.regions:
+            mask |= region.pixel_mask(img.pixels.shape)
+        for r, c in result.points:
+            assert mask[r, c]
+
+    def test_coarse_smaller_step1(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=6)
+        fine = detect_junctions(img.pixels, 16, 5.0)
+        coarse = detect_junctions(img.pixels, 64, 20.0)
+        assert coarse.work.step1 < fine.work.step1
+
+    def test_larger_search_distance_larger_step3(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=7)
+        small = detect_junctions(img.pixels, 64, 8.0)
+        large = detect_junctions(img.pixels, 64, 20.0)
+        assert large.work.step3 >= small.work.step3
+
+    def test_reasonable_quality(self):
+        img = synthetic_image(size=128, n_junctions=6, seed=8)
+        result = detect_junctions(img.pixels, 16, 5.0)
+        q = match_quality(result.points, img.junctions, tolerance=6.0)
+        assert q.recall >= 0.5
+
+    def test_blank_image(self):
+        flat = np.full((64, 64), 0.5, dtype=np.float32)
+        result = detect_junctions(flat, 16, 5.0)
+        assert result.count == 0
+        assert result.work.step3 == 0
+
+    def test_validation(self):
+        img = synthetic_image(size=64, n_junctions=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            detect_junctions(img.pixels, 16, 5.0, relative_threshold=1.5)

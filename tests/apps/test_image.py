@@ -1,0 +1,63 @@
+"""Unit tests for the synthetic junction image generator."""
+
+import numpy as np
+import pytest
+
+from repro.apps.junction.image import synthetic_image
+from repro.errors import ConfigurationError
+
+
+class TestSyntheticImage:
+    def test_shape_and_range(self):
+        img = synthetic_image(size=96, n_junctions=4, seed=1)
+        assert img.pixels.shape == (96, 96)
+        assert img.pixels.dtype == np.float32
+        assert img.pixels.min() >= 0.0
+        assert img.pixels.max() <= 1.0
+
+    def test_ground_truth_count(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=2)
+        assert img.junctions.shape == (5, 2)
+
+    def test_junctions_inside_margin(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=3, margin=12)
+        assert (img.junctions >= 12).all()
+        assert (img.junctions < 128 - 12).all()
+
+    def test_junction_pixels_are_dark(self):
+        img = synthetic_image(size=128, n_junctions=5, seed=4, noise=0.0)
+        for r, c in img.junctions:
+            assert img.pixels[r, c] < 0.2
+
+    def test_separation(self):
+        img = synthetic_image(size=160, n_junctions=6, seed=5, margin=12)
+        pts = img.junctions.astype(float)
+        for i in range(len(pts)):
+            for j in range(i + 1, len(pts)):
+                assert np.hypot(*(pts[i] - pts[j])) >= 24.0
+
+    def test_reproducible(self):
+        a = synthetic_image(size=64, n_junctions=2, seed=7)
+        b = synthetic_image(size=64, n_junctions=2, seed=7)
+        assert (a.pixels == b.pixels).all()
+        assert (a.junctions == b.junctions).all()
+
+    def test_seeds_differ(self):
+        a = synthetic_image(size=64, n_junctions=2, seed=7)
+        b = synthetic_image(size=64, n_junctions=2, seed=8)
+        assert not (a.pixels == b.pixels).all()
+
+    def test_noise_free_background_is_white(self):
+        img = synthetic_image(size=64, n_junctions=1, seed=1, noise=0.0)
+        # Corner pixel is almost surely background.
+        assert img.pixels[0, 0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_image(size=20, margin=12)
+        with pytest.raises(ConfigurationError):
+            synthetic_image(n_junctions=0)
+        with pytest.raises(ConfigurationError):
+            synthetic_image(min_arms=1)
+        with pytest.raises(ConfigurationError):
+            synthetic_image(size=64, n_junctions=50, margin=12)

@@ -1,0 +1,62 @@
+"""Unit tests for detection-quality matching."""
+
+import numpy as np
+import pytest
+
+from repro.apps.junction.quality import match_quality
+from repro.errors import ConfigurationError
+
+
+def arr(*pairs):
+    return np.asarray(pairs, dtype=np.float64)
+
+
+class TestMatchQuality:
+    def test_perfect_match(self):
+        gt = arr((10, 10), (50, 50))
+        q = match_quality(gt, gt, tolerance=3.0)
+        assert q.precision == 1.0
+        assert q.recall == 1.0
+        assert q.f1 == 1.0
+
+    def test_offset_within_tolerance(self):
+        q = match_quality(arr((12, 10)), arr((10, 10)), tolerance=3.0)
+        assert q.true_positives == 1
+
+    def test_offset_beyond_tolerance(self):
+        q = match_quality(arr((20, 20)), arr((10, 10)), tolerance=3.0)
+        assert q.true_positives == 0
+        assert q.precision == 0.0 and q.recall == 0.0 and q.f1 == 0.0
+
+    def test_one_to_one_matching(self):
+        # Two detections near one ground truth: only one counts.
+        q = match_quality(arr((10, 10), (11, 10)), arr((10, 10)), tolerance=3.0)
+        assert q.true_positives == 1
+        assert q.precision == 0.5
+        assert q.recall == 1.0
+
+    def test_greedy_prefers_closest(self):
+        # det0 is closest to gt0; det1 must then claim gt1.
+        q = match_quality(
+            arr((10, 10), (10, 14)), arr((10, 11), (10, 15)), tolerance=5.0
+        )
+        assert q.true_positives == 2
+
+    def test_empty_detections(self):
+        q = match_quality(np.empty((0, 2)), arr((1, 1)))
+        assert q.recall == 0.0
+        assert q.precision == 0.0
+
+    def test_empty_ground_truth(self):
+        q = match_quality(arr((1, 1)), np.empty((0, 2)))
+        assert q.precision == 0.0
+
+    def test_f1_harmonic(self):
+        q = match_quality(arr((10, 10), (90, 90)), arr((10, 10), (50, 50)),
+                          tolerance=3.0)
+        assert q.precision == 0.5 and q.recall == 0.5
+        assert q.f1 == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            match_quality(arr((1, 1)), arr((1, 1)), tolerance=0.0)

@@ -1,0 +1,130 @@
+"""Unit tests for the adaptive-refinement tunable application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.refine import (
+    DEFAULT_REFINEMENT_CONFIGS,
+    RefinementConfig,
+    _grids,
+    jacobi_sweeps,
+    prepare_refinement_memory,
+    profile_refinement,
+    refinement_program,
+    solution_error,
+)
+from repro.calypso.manager import ApplicationManager
+from repro.calypso.runtime import CalypsoRuntime
+from repro.core.arbitrator import ArbitrationObjective, QoSArbitrator
+from repro.errors import ConfigurationError
+from repro.lang.preprocess import enumerate_paths
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return tuple(profile_refinement(c) for c in DEFAULT_REFINEMENT_CONFIGS)
+
+
+class TestSolver:
+    def test_sweeps_reduce_error(self):
+        rhs, exact, h = _grids(16)
+        u0 = np.zeros_like(rhs)
+        few = jacobi_sweeps(u0, rhs, h, 10)
+        many = jacobi_sweeps(u0, rhs, h, 500)
+        assert solution_error(many, exact) < solution_error(few, exact)
+
+    def test_zero_sweeps_identity(self):
+        rhs, _exact, h = _grids(16)
+        u = np.random.default_rng(0).random(rhs.shape)
+        out = jacobi_sweeps(u, rhs, h, 0)
+        assert np.array_equal(out, u)
+        assert out is not u  # defensive copy
+
+    def test_boundary_preserved(self):
+        rhs, _exact, h = _grids(16)
+        u = jacobi_sweeps(np.zeros_like(rhs), rhs, h, 50)
+        assert np.allclose(u[0, :], 0.0) and np.allclose(u[-1, :], 0.0)
+        assert np.allclose(u[:, 0], 0.0) and np.allclose(u[:, -1], 0.0)
+
+    def test_convergence_to_analytic(self):
+        rhs, exact, h = _grids(32)
+        u = jacobi_sweeps(np.zeros_like(rhs), rhs, h, 1500)
+        assert solution_error(u, exact) < 0.01
+
+    def test_negative_sweeps_rejected(self):
+        rhs, _exact, h = _grids(16)
+        with pytest.raises(ConfigurationError):
+            jacobi_sweeps(np.zeros_like(rhs), rhs, h, -1)
+
+
+class TestConfigAndProfile:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RefinementConfig(resolution=4, blocks=1, sweeps_per_block=1)
+        with pytest.raises(ConfigurationError):
+            RefinementConfig(resolution=16, blocks=0, sweeps_per_block=1)
+        with pytest.raises(ConfigurationError):
+            RefinementConfig(resolution=16, blocks=1, sweeps_per_block=0)
+
+    def test_profile_tradeoff(self, profiles):
+        fine, coarse = profiles
+        # Fine: much more work, much less error.
+        assert fine.total_duration > 5 * coarse.total_duration
+        assert fine.error < coarse.error
+        assert fine.quality > coarse.quality
+
+    def test_quality_in_unit_interval(self, profiles):
+        for p in profiles:
+            assert 0 < p.quality <= 1
+
+
+class TestProgram:
+    def test_paths_unrolled(self, profiles):
+        chains = enumerate_paths(refinement_program(profiles))
+        assert len(chains) == 2
+        fine_chain = next(c for c in chains if c.params["resolution"] == 64)
+        coarse_chain = next(c for c in chains if c.params["resolution"] == 32)
+        # setup + blocks + evaluate
+        assert len(fine_chain) == 1 + 12 + 1
+        assert len(coarse_chain) == 1 + 6 + 1
+
+    def test_block_deadlines_increase(self, profiles):
+        chains = enumerate_paths(refinement_program(profiles))
+        for chain in chains:
+            sweep_deadlines = [t.deadline for t in chain if t.name == "sweep"]
+            assert sweep_deadlines == sorted(sweep_deadlines)
+            assert len(set(sweep_deadlines)) == len(sweep_deadlines)
+
+    def test_profile_order_enforced(self, profiles):
+        with pytest.raises(ConfigurationError):
+            refinement_program(tuple(reversed(profiles)))
+
+    def test_quality_objective_selects_fine(self, profiles):
+        program = refinement_program(profiles)
+        manager = ApplicationManager(
+            program, CalypsoRuntime(workers=2), prepare_refinement_memory()
+        )
+        arb = QoSArbitrator(8, objective=ArbitrationObjective.MAX_QUALITY)
+        run = manager.run(arb, release=0.0)
+        assert run.params["resolution"] == 64
+        assert manager.memory["error"] < 0.001
+
+    def test_earliest_finish_selects_coarse(self, profiles):
+        program = refinement_program(profiles)
+        manager = ApplicationManager(
+            program, CalypsoRuntime(workers=2), prepare_refinement_memory()
+        )
+        run = manager.run(QoSArbitrator(8), release=0.0)
+        assert run.params["resolution"] == 32
+        assert manager.memory["error"] < 0.01
+
+    def test_executed_error_matches_profile(self, profiles):
+        program = refinement_program(profiles)
+        manager = ApplicationManager(
+            program, CalypsoRuntime(workers=2), prepare_refinement_memory()
+        )
+        run = manager.run(QoSArbitrator(8), release=0.0)
+        granted = next(
+            p for p in profiles if p.config.resolution == run.params["resolution"]
+        )
+        assert manager.memory["error"] == pytest.approx(granted.error)

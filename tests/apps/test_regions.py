@@ -1,0 +1,104 @@
+"""Unit tests for step 2: region construction."""
+
+import numpy as np
+import pytest
+
+from repro.apps.junction.regions import mark_regions
+from repro.errors import ConfigurationError
+
+
+def pts(*pairs):
+    return np.asarray(pairs, dtype=np.int64)
+
+
+class TestClustering:
+    def test_two_separate_clusters(self):
+        points = pts((10, 10), (11, 11), (12, 10), (50, 50), (51, 51), (52, 50))
+        regions = mark_regions(points, 3.0, (64, 64))
+        assert len(regions) == 2
+
+    def test_chained_linkage_merges(self):
+        # Points 4 apart chain-link into one cluster at distance 5.
+        points = pts((10, 10), (10, 14), (10, 18), (10, 22))
+        regions = mark_regions(points, 5.0, (64, 64), min_points=4)
+        assert len(regions) == 1
+
+    def test_min_points_filters_noise(self):
+        points = pts((10, 10), (50, 50), (51, 51), (52, 52))
+        regions = mark_regions(points, 3.0, (64, 64), min_points=3)
+        assert len(regions) == 1
+        assert regions[0].points.shape[0] == 3
+
+    def test_no_points(self):
+        regions = mark_regions(np.empty((0, 2)), 5.0, (64, 64))
+        assert regions == []
+
+    def test_larger_distance_merges_more(self):
+        points = pts((10, 10), (11, 10), (12, 10), (30, 10), (31, 10), (32, 10))
+        near = mark_regions(points, 5.0, (64, 64))
+        far = mark_regions(points, 25.0, (64, 64))
+        assert len(near) == 2
+        assert len(far) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mark_regions(pts((1, 1)), 0.0, (64, 64))
+        with pytest.raises(ConfigurationError):
+            mark_regions(pts((1, 1)), 5.0, (64, 64), min_points=0)
+
+
+class TestGeometry:
+    def test_bbox_dilated_and_clipped(self):
+        points = pts((5, 5), (6, 6), (7, 5))
+        [region] = mark_regions(points, 10.0, (64, 64))
+        r_lo, c_lo, r_hi, c_hi = region.bbox
+        assert r_lo == 0 and c_lo == 0  # clipped at the image edge
+        assert r_hi >= 17 and c_hi >= 16
+
+    def test_pixel_count_positive(self):
+        points = pts((20, 20), (22, 22), (24, 20))
+        [region] = mark_regions(points, 4.0, (64, 64))
+        assert region.pixel_count > 0
+
+    def test_hull_vertices_subset_of_members(self):
+        points = pts((20, 20), (20, 30), (30, 20), (30, 30), (25, 25))
+        [region] = mark_regions(points, 20.0, (64, 64))
+        member_set = {tuple(p) for p in points.tolist()}
+        for v in region.hull:
+            assert tuple(int(x) for x in v) in member_set
+        # Interior point (25,25) must not be a hull vertex.
+        assert (25.0, 25.0) not in {tuple(v) for v in region.hull.tolist()}
+
+    def test_collinear_cluster_degenerate_hull(self):
+        points = pts((10, 10), (10, 14), (10, 18))
+        [region] = mark_regions(points, 5.0, (64, 64))
+        # Degenerate: falls back to member points.
+        assert region.hull.shape[0] == 3
+
+    def test_mask_contains_members(self):
+        points = pts((20, 20), (23, 22), (26, 24), (24, 20))
+        [region] = mark_regions(points, 4.0, (64, 64))
+        mask = region.pixel_mask((64, 64))
+        for r, c in points:
+            assert mask[r, c]
+
+    def test_mask_grows_with_dilation(self):
+        points = pts((30, 30), (32, 32), (34, 30))
+        [small] = mark_regions(points, 3.0, (64, 64))
+        [large] = mark_regions(points, 12.0, (64, 64))
+        assert large.pixel_mask((64, 64)).sum() > small.pixel_mask((64, 64)).sum()
+
+    def test_mask_within_bbox(self):
+        points = pts((30, 30), (32, 34), (35, 30))
+        [region] = mark_regions(points, 5.0, (64, 64))
+        mask = region.pixel_mask((64, 64))
+        rows, cols = np.nonzero(mask)
+        r_lo, c_lo, r_hi, c_hi = region.bbox
+        assert rows.min() >= r_lo and rows.max() < r_hi
+        assert cols.min() >= c_lo and cols.max() < c_hi
+
+    def test_deterministic_ordering(self):
+        points = pts((50, 50), (51, 51), (52, 52), (10, 10), (11, 11), (12, 12))
+        a = mark_regions(points, 3.0, (64, 64))
+        b = mark_regions(points[::-1].copy(), 3.0, (64, 64))
+        assert [r.bbox for r in a] == [r.bbox for r in b]

@@ -1,0 +1,84 @@
+"""Unit tests for step 1: sampling + interest test."""
+
+import numpy as np
+import pytest
+
+from repro.apps.junction.image import synthetic_image
+from repro.apps.junction.sampling import (
+    sample_image,
+    stride_for_granularity,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStride:
+    def test_perfect_squares(self):
+        assert stride_for_granularity(16) == 4
+        assert stride_for_granularity(64) == 8
+        assert stride_for_granularity(1) == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stride_for_granularity(15)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stride_for_granularity(0)
+
+
+class TestSampleImage:
+    def test_sample_count_scales_with_granularity(self):
+        img = synthetic_image(size=128, seed=1)
+        fine = sample_image(img.pixels, 16)
+        coarse = sample_image(img.pixels, 64)
+        assert fine.sampled_count == pytest.approx(128 * 128 / 16, rel=0.05)
+        assert coarse.sampled_count == pytest.approx(128 * 128 / 64, rel=0.1)
+
+    def test_flat_image_finds_nothing(self):
+        flat = np.full((64, 64), 0.5, dtype=np.float32)
+        result = sample_image(flat, 16)
+        assert result.interesting_count == 0
+        assert result.sampled_count > 0
+
+    def test_finds_points_near_structure(self):
+        img = synthetic_image(size=128, n_junctions=4, seed=2, noise=0.0)
+        result = sample_image(img.pixels, 16)
+        assert result.interesting_count > 0
+        # Every interesting point has high local contrast: it sits on or
+        # next to a dark line in a white image.
+        for r, c in result.points:
+            patch = img.pixels[
+                max(r - 1, 0) : r + 2, max(c - 1, 0) : c + 2
+            ]
+            assert patch.max() - patch.min() > 0.4
+
+    def test_row_band_restricts(self):
+        img = synthetic_image(size=128, seed=3)
+        band = sample_image(img.pixels, 16, row_band=(0, 64))
+        assert all(r < 64 for r, _ in band.points)
+
+    def test_bands_partition_whole_image(self):
+        img = synthetic_image(size=128, seed=4)
+        whole = sample_image(img.pixels, 16)
+        top = sample_image(img.pixels, 16, row_band=(0, 64))
+        bottom = sample_image(img.pixels, 16, row_band=(64, 128))
+        assert top.sampled_count + bottom.sampled_count == whole.sampled_count
+        assert (
+            top.interesting_count + bottom.interesting_count
+            == whole.interesting_count
+        )
+
+    def test_empty_band(self):
+        img = synthetic_image(size=64, n_junctions=2, seed=1)
+        result = sample_image(img.pixels, 16, row_band=(32, 32))
+        assert result.sampled_count == 0
+        assert result.points.shape == (0, 2)
+
+    def test_validation(self):
+        img = synthetic_image(size=64, n_junctions=2, seed=1)
+        with pytest.raises(ConfigurationError):
+            sample_image(img.pixels, 16, threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_image(img.pixels, 16, row_band=(10, 200))
+        with pytest.raises(ConfigurationError):
+            sample_image(np.zeros(5, dtype=np.float32), 16)

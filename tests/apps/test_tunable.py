@@ -1,0 +1,111 @@
+"""Unit tests for the tunable junction program and its profiling."""
+
+import pytest
+
+from repro.apps.junction.image import synthetic_image
+from repro.apps.junction.tunable import (
+    DEFAULT_CONFIGS,
+    JunctionConfig,
+    junction_program,
+    prepare_memory,
+    profile_configuration,
+)
+from repro.calypso.manager import ApplicationManager
+from repro.calypso.runtime import CalypsoRuntime
+from repro.core.arbitrator import QoSArbitrator
+from repro.errors import ConfigurationError
+from repro.lang.preprocess import enumerate_paths
+
+
+@pytest.fixture(scope="module")
+def image():
+    return synthetic_image(size=128, n_junctions=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def profiles(image):
+    return [profile_configuration(image, c) for c in DEFAULT_CONFIGS]
+
+
+class TestConfig:
+    def test_defaults_ordered_fine_coarse(self):
+        fine, coarse = DEFAULT_CONFIGS
+        assert fine.granularity < coarse.granularity
+        assert fine.search_distance < coarse.search_distance
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JunctionConfig(0, 5.0)
+        with pytest.raises(ConfigurationError):
+            JunctionConfig(16, 0.0)
+
+
+class TestProfiling:
+    def test_profile_fields(self, image, profiles):
+        for prof in profiles:
+            assert len(prof.steps) == 3
+            for step in prof.steps:
+                assert step.duration > 0
+                assert step.request.processors == step.processors
+            assert 0.0 <= prof.f1 <= 1.0
+            assert prof.total_area > 0
+
+    def test_fig2_tradeoff(self, profiles):
+        fine, coarse = profiles
+        # Coarse sampling: much cheaper step 1, costlier step 3.
+        assert coarse.steps[0].work < fine.steps[0].work / 2
+        assert coarse.steps[2].work > fine.steps[2].work
+
+    def test_duration_floor(self, image):
+        prof = profile_configuration(image, JunctionConfig(64, 20.0))
+        assert all(s.duration >= 0.25 for s in prof.steps)
+
+
+class TestProgram:
+    def test_two_paths(self, profiles):
+        prog = junction_program(profiles)
+        chains = enumerate_paths(prog)
+        assert len(chains) == 2
+        grans = {c.params["sampleGranularity"] for c in chains}
+        assert grans == {16, 64}
+        for c in chains:
+            assert len(c) == 3
+            assert c.params["c"] in (1, 2)
+
+    def test_deadline_monotone(self, profiles):
+        for chain in enumerate_paths(junction_program(profiles)):
+            deadlines = [t.deadline for t in chain]
+            assert deadlines == sorted(deadlines)
+
+    def test_profile_order_enforced(self, profiles):
+        with pytest.raises(ConfigurationError):
+            junction_program(list(reversed(profiles)))
+        with pytest.raises(ConfigurationError):
+            junction_program(profiles[:1])
+
+    def test_end_to_end_execution(self, image, profiles):
+        prog = junction_program(profiles)
+        mgr = ApplicationManager(prog, CalypsoRuntime(workers=2), prepare_memory(image))
+        run = mgr.run(QoSArbitrator(8), release=0.0)
+        assert run is not None
+        junctions = mgr.memory["junctions"]
+        assert junctions.shape[0] > 0
+        assert run.params["sampleGranularity"] in (16, 64)
+
+    def test_execution_matches_direct_pipeline(self, image, profiles):
+        """The Calypso path computes the same detections as detect_junctions."""
+        from repro.apps.junction.detect import detect_junctions
+        import numpy as np
+
+        prog = junction_program(profiles)
+        mgr = ApplicationManager(prog, CalypsoRuntime(workers=4), prepare_memory(image))
+        run = mgr.run(QoSArbitrator(8), release=0.0)
+        direct = detect_junctions(
+            image.pixels,
+            granularity=int(run.params["sampleGranularity"]),
+            search_distance=float(run.params["searchDistance"]),
+        )
+        assert np.array_equal(
+            np.sort(mgr.memory["junctions"], axis=0),
+            np.sort(direct.points, axis=0),
+        )

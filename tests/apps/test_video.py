@@ -1,0 +1,69 @@
+"""Unit tests for the soft real-time video pipeline app."""
+
+import pytest
+
+from repro.apps.video import FrameSpec, frame_job, run_pipeline
+from repro.errors import WorkloadError
+
+
+class TestFrameJob:
+    def test_two_paths(self):
+        job = frame_job(FrameSpec(), period=2.0, release=4.0)
+        assert job.tunable
+        assert {c.label for c in job} == {"full", "degraded"}
+        assert job.release == 4.0
+
+    def test_deadline_budget(self):
+        spec = FrameSpec(deadline_factor=1.5)
+        job = frame_job(spec, period=2.0, release=0.0)
+        for chain in job:
+            assert chain.final_deadline == pytest.approx(3.0)
+
+    def test_quality_ordering(self):
+        job = frame_job(FrameSpec(degraded_quality=0.7), period=2.0, release=0.0)
+        by_label = {c.label: c for c in job}
+        assert by_label["full"].tasks[-1].quality == 1.0
+        assert by_label["degraded"].tasks[-1].quality == 0.7
+
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            FrameSpec(degraded_quality=0.0)
+        with pytest.raises(WorkloadError):
+            FrameSpec(deadline_factor=0.0)
+
+
+class TestPipeline:
+    def test_large_machine_full_quality(self):
+        report = run_pipeline(processors=16, n_frames=50, period=2.0)
+        assert report.on_time_rate == 1.0
+        assert report.full_quality_frames == 50
+        assert report.mean_quality == pytest.approx(1.0)
+
+    def test_earliest_finish_degrades_everything(self):
+        report = run_pipeline(
+            processors=16, n_frames=50, period=2.0, quality_aware=False
+        )
+        assert report.degraded_frames == 50
+        assert report.mean_quality == pytest.approx(0.7)
+
+    def test_small_machine_degrades_or_drops(self):
+        report = run_pipeline(processors=6, n_frames=50, period=2.0)
+        assert report.full_quality_frames < 50
+        assert report.frames == 50
+        assert (
+            report.on_time
+            == report.full_quality_frames + report.degraded_frames
+        )
+
+    def test_counts_partition(self):
+        report = run_pipeline(processors=10, n_frames=40, period=2.0, jitter=0.5)
+        assert report.on_time + report.dropped == 40
+
+    def test_jitter_reproducible(self):
+        a = run_pipeline(processors=10, n_frames=40, period=2.0, jitter=0.5, seed=3)
+        b = run_pipeline(processors=10, n_frames=40, period=2.0, jitter=0.5, seed=3)
+        assert a == b
+
+    def test_jitter_validation(self):
+        with pytest.raises(WorkloadError):
+            run_pipeline(processors=8, jitter=2.0, period=2.0)

@@ -1,0 +1,68 @@
+"""Unit tests for fault injectors."""
+
+import pytest
+
+from repro.calypso.faults import DeterministicFaults, FaultInjector, TransientFault
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+class TestFaultInjector:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjector(1.0, RandomStreams(1))
+        with pytest.raises(ConfigurationError):
+            FaultInjector(-0.1, RandomStreams(1))
+        with pytest.raises(ConfigurationError):
+            FaultInjector(0.5, RandomStreams(1), max_faults_per_task=-1)
+
+    def test_zero_probability_never_faults(self):
+        inj = FaultInjector(0.0, RandomStreams(1))
+        for i in range(100):
+            inj.before_execution(("t", i))
+        assert inj.injected == 0
+
+    def test_cap_guarantees_progress(self):
+        inj = FaultInjector(0.99, RandomStreams(1), max_faults_per_task=3)
+        faults = 0
+        for _ in range(50):
+            try:
+                inj.before_execution(("t", 0))
+            except TransientFault:
+                faults += 1
+        assert faults <= 3
+        assert inj.injected == faults
+
+    def test_reproducible(self):
+        def run(seed):
+            inj = FaultInjector(0.5, RandomStreams(seed), max_faults_per_task=100)
+            outcomes = []
+            for i in range(20):
+                try:
+                    inj.before_execution(("t", i))
+                    outcomes.append(False)
+                except TransientFault:
+                    outcomes.append(True)
+            return outcomes
+
+        assert run(5) == run(5)
+        assert run(5) != run(6)
+
+
+class TestDeterministicFaults:
+    def test_scripted_failures(self):
+        inj = DeterministicFaults({("t", 0): 2})
+        with pytest.raises(TransientFault):
+            inj.before_execution(("t", 0))
+        with pytest.raises(TransientFault):
+            inj.before_execution(("t", 0))
+        inj.before_execution(("t", 0))  # third attempt succeeds
+        assert inj.injected == 2
+
+    def test_unscripted_tasks_never_fail(self):
+        inj = DeterministicFaults({("t", 0): 1})
+        inj.before_execution(("other", 5))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DeterministicFaults({("t", 0): -1})

@@ -1,0 +1,120 @@
+"""Unit tests for the end-to-end application manager."""
+
+import pytest
+
+from repro.calypso.manager import ApplicationManager
+from repro.calypso.routine import Routine
+from repro.calypso.runtime import CalypsoRuntime
+from repro.calypso.shared import SharedMemory
+from repro.calypso.step import ParallelStep
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import CalypsoError
+from repro.lang.constructs import TaskConfig, TaskConstruct
+from repro.lang.params import ParameterSet
+from repro.lang.program import TunableProgram
+
+
+def make_program():
+    """Two-step program: a parallel doubling step, then a sequential sum."""
+
+    def double_body(memory, env):
+        scale = int(env["scale"])
+
+        def routine(view, width, number):
+            data = view["data"]
+            lo = number * len(data) // width
+            hi = (number + 1) * len(data) // width
+            view[f"part_{number}"] = [v * scale for v in data[lo:hi]]
+
+        return ParallelStep((Routine(routine, copies=2, name="dbl"),), name="double")
+
+    def sum_body(memory, env):
+        total = sum(memory["part_0"]) + sum(memory["part_1"])
+        memory["total"] = total
+        return None
+
+    scale_task = TaskConstruct(
+        "double",
+        deadline=10.0,
+        parameter_list=("scale",),
+        configs=(
+            TaskConfig((2,), ProcessorTimeRequest(2, 2.0), quality=1.0),
+            TaskConfig((1,), ProcessorTimeRequest(1, 2.0), quality=0.5),
+        ),
+        body=double_body,
+    )
+    sum_task = TaskConstruct(
+        "sum",
+        deadline=20.0,
+        parameter_list=(),
+        configs=(TaskConfig((), ProcessorTimeRequest(1, 1.0)),),
+        body=sum_body,
+    )
+    return TunableProgram("pipeline", ParameterSet(scale=None), (scale_task, sum_task))
+
+
+def make_memory():
+    return SharedMemory(data=[1, 2, 3, 4], part_0=[], part_1=[], total=0)
+
+
+class TestRun:
+    def test_executes_granted_path(self):
+        mgr = ApplicationManager(make_program(), CalypsoRuntime(workers=2), make_memory())
+        run = mgr.run(QoSArbitrator(4), release=0.0)
+        assert run is not None
+        assert run.params["scale"] == 2  # earliest finish picks either; check result
+        assert mgr.memory["total"] == sum([1, 2, 3, 4]) * run.params["scale"]
+        assert [r.step_name for r in run.reports] == ["double"]
+
+    def test_rejection_returns_none(self):
+        arb = QoSArbitrator(4)
+        arb.schedule.profile.reserve(0.0, 19.5, 4)
+        mgr = ApplicationManager(make_program(), CalypsoRuntime(workers=2), make_memory())
+        assert mgr.run(arb, release=0.0) is None
+
+    def test_degraded_path_under_load(self):
+        arb = QoSArbitrator(2)
+        # One processor busy until t=9: the 2-wide config can't meet d=10
+        # at full width... (2-wide needs 2 free; free from 9.0, ends 11 > 10)
+        arb.schedule.profile.reserve(0.0, 9.0, 1)
+        mgr = ApplicationManager(make_program(), CalypsoRuntime(workers=2), make_memory())
+        run = mgr.run(arb, release=0.0)
+        assert run is not None
+        assert run.params["scale"] == 1
+        assert mgr.memory["total"] == 10
+
+    def test_submit_only_does_not_execute(self):
+        mgr = ApplicationManager(make_program(), CalypsoRuntime(workers=2), make_memory())
+        contract = mgr.submit_only(QoSArbitrator(4), release=0.0)
+        assert contract is not None
+        assert mgr.memory["total"] == 0
+
+    def test_fault_stats_aggregate(self):
+        from repro.calypso.faults import DeterministicFaults
+
+        inj = DeterministicFaults({("dbl", 0): 2})
+        mgr = ApplicationManager(
+            make_program(),
+            CalypsoRuntime(workers=2, fault_injector=inj),
+            make_memory(),
+        )
+        run = mgr.run(QoSArbitrator(4), release=0.0)
+        assert run.faults_masked == 2
+        assert run.total_executions >= 2
+
+    def test_bad_body_return_type(self):
+        def bad_body(memory, env):
+            return 42
+
+        task = TaskConstruct(
+            "bad",
+            deadline=10.0,
+            parameter_list=(),
+            configs=(TaskConfig((), ProcessorTimeRequest(1, 1.0)),),
+            body=bad_body,
+        )
+        prog = TunableProgram("bad", ParameterSet(), (task,))
+        mgr = ApplicationManager(prog, CalypsoRuntime(), SharedMemory(x=0))
+        with pytest.raises(CalypsoError):
+            mgr.run(QoSArbitrator(4), release=0.0)

@@ -1,0 +1,218 @@
+"""Unit tests for the Calypso runtime: eager scheduling, exactly-once commit."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.calypso.faults import DeterministicFaults, FaultInjector
+from repro.calypso.routine import Routine
+from repro.calypso.runtime import CalypsoRuntime
+from repro.calypso.shared import SharedMemory
+from repro.calypso.step import ParallelStep
+from repro.errors import CalypsoError, ConcurrentWriteError, ConfigurationError
+from repro.sim.rng import RandomStreams
+
+
+def sum_memory(n_chunks=4, chunk=100):
+    data = list(range(n_chunks * chunk))
+    return SharedMemory(data=data, **{f"p{i}": 0 for i in range(n_chunks)})
+
+
+def sum_body(view, width, number):
+    data = view["data"]
+    lo = number * len(data) // width
+    hi = (number + 1) * len(data) // width
+    view[f"p{number}"] = sum(data[lo:hi])
+
+
+def sum_step(copies=4):
+    return ParallelStep((Routine(sum_body, copies=copies, name="sum"),), name="reduce")
+
+
+def expected_total(n_chunks=4, chunk=100):
+    return sum(range(n_chunks * chunk))
+
+
+class TestBasicExecution:
+    def test_single_worker(self):
+        mem = sum_memory()
+        report = CalypsoRuntime(workers=1).execute_step(sum_step(), mem)
+        assert report.tasks == 4
+        assert report.executions == 4
+        assert report.faults_masked == 0
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+
+    def test_many_workers(self):
+        mem = sum_memory()
+        report = CalypsoRuntime(workers=8).execute_step(sum_step(), mem)
+        assert report.tasks == 4
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+
+    def test_more_tasks_than_workers(self):
+        mem = sum_memory(n_chunks=4)
+        CalypsoRuntime(workers=2).execute_step(sum_step(4), mem)
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+
+    def test_width_and_number_arguments(self):
+        seen = []
+        mem = SharedMemory(out=0)
+
+        def probe(view, width, number):
+            seen.append((width, number))
+
+        CalypsoRuntime(workers=1).execute_step(
+            ParallelStep((Routine(probe, copies=3, name="p"),)), mem
+        )
+        assert sorted(seen) == [(3, 0), (3, 1), (3, 2)]
+
+    def test_multiple_routines_in_one_step(self):
+        mem = SharedMemory(a=0, b=0)
+        step = ParallelStep(
+            (
+                Routine(lambda v, w, n: v.__setitem__("a", 1), name="ra"),
+                Routine(lambda v, w, n: v.__setitem__("b", 2), name="rb"),
+            )
+        )
+        CalypsoRuntime(workers=2).execute_step(step, mem)
+        assert mem["a"] == 1 and mem["b"] == 2
+
+    def test_updates_invisible_until_commit(self):
+        """A task reads the step-begin snapshot, not other tasks' writes."""
+        mem = SharedMemory(x=0, y=0)
+
+        def writer(view, width, number):
+            view["x"] = 1
+
+        def reader(view, width, number):
+            view["y"] = view["x"]  # must see the snapshot value 0
+
+        step = ParallelStep(
+            (Routine(writer, name="w"), Routine(reader, name="r"))
+        )
+        CalypsoRuntime(workers=2).execute_step(step, mem)
+        assert mem["x"] == 1
+        assert mem["y"] == 0
+
+    def test_execute_steps_sequence(self):
+        mem = SharedMemory(x=0)
+        inc = ParallelStep(
+            (Routine(lambda v, w, n: v.__setitem__("x", v["x"] + 1), name="i"),)
+        )
+        reports = CalypsoRuntime(workers=2).execute_steps([inc, inc, inc], mem)
+        assert mem["x"] == 3
+        assert len(reports) == 3
+
+
+class TestCrew:
+    def test_conflict_detected(self):
+        mem = SharedMemory(shared_slot=0, data=list(range(8)))
+
+        def clash(view, width, number):
+            view["shared_slot"] = number
+
+        step = ParallelStep((Routine(clash, copies=2, name="c"),))
+        with pytest.raises(ConcurrentWriteError):
+            CalypsoRuntime(workers=2).execute_step(step, mem)
+
+    def test_conflict_leaves_memory_unchanged(self):
+        mem = SharedMemory(shared_slot=42, data=[])
+
+        def clash(view, width, number):
+            view["shared_slot"] = number
+
+        step = ParallelStep((Routine(clash, copies=2, name="c"),))
+        with pytest.raises(ConcurrentWriteError):
+            CalypsoRuntime(workers=1).execute_step(step, mem)
+        assert mem["shared_slot"] == 42
+
+
+class TestFaultMasking:
+    def test_deterministic_faults_masked(self):
+        mem = sum_memory()
+        inj = DeterministicFaults({("sum", 0): 2, ("sum", 3): 1})
+        report = CalypsoRuntime(workers=2, fault_injector=inj).execute_step(
+            sum_step(), mem
+        )
+        assert report.faults_masked == 3
+        assert report.executions == report.tasks + 3 + report.duplicates
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+
+    def test_probabilistic_faults_masked(self):
+        mem = sum_memory()
+        inj = FaultInjector(0.6, RandomStreams(9), max_faults_per_task=5)
+        report = CalypsoRuntime(workers=4, fault_injector=inj).execute_step(
+            sum_step(), mem
+        )
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+        assert report.faults_masked > 0
+
+    def test_program_errors_not_masked(self):
+        mem = SharedMemory(x=0)
+
+        def boom(view, width, number):
+            raise ValueError("program bug")
+
+        step = ParallelStep((Routine(boom, name="b"),))
+        with pytest.raises(ValueError, match="program bug"):
+            CalypsoRuntime(workers=2).execute_step(step, mem)
+
+    def test_execution_cap_enforced(self):
+        mem = SharedMemory(x=0)
+        inj = DeterministicFaults({("b", 0): 10_000})
+        runtime = CalypsoRuntime(
+            workers=1, fault_injector=inj, max_executions_per_task=5
+        )
+        step = ParallelStep((Routine(lambda v, w, n: None, name="b"),))
+        with pytest.raises(CalypsoError, match="exceeded"):
+            runtime.execute_step(step, mem)
+
+
+class TestEagerDuplication:
+    def test_exactly_once_commit_under_duplication(self):
+        """Even with aggressive duplication the committed state is correct."""
+        mem = sum_memory(n_chunks=8)
+        runtime = CalypsoRuntime(workers=8, eager_duplication=True)
+        report = runtime.execute_step(sum_step(copies=8), mem)
+        assert report.tasks == 8
+        assert sum(mem[f"p{i}"] for i in range(8)) == expected_total(8)
+
+    def test_duplicates_recorded_when_they_happen(self):
+        # Force duplication: many workers, one slow task via fault retries.
+        mem = sum_memory(n_chunks=2)
+        inj = DeterministicFaults({("sum", 0): 3})
+        runtime = CalypsoRuntime(workers=4, fault_injector=inj)
+        report = runtime.execute_step(sum_step(copies=2), mem)
+        assert report.executions >= report.tasks
+        assert sum(mem[f"p{i}"] for i in range(2)) == expected_total(2)
+
+
+class TestValidation:
+    def test_worker_count(self):
+        with pytest.raises(ConfigurationError):
+            CalypsoRuntime(workers=0)
+
+    def test_execution_cap(self):
+        with pytest.raises(ConfigurationError):
+            CalypsoRuntime(max_executions_per_task=0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    copies=st.integers(1, 6),
+    workers=st.integers(1, 6),
+    fault_prob=st.sampled_from([0.0, 0.3, 0.6]),
+    seed=st.integers(0, 10),
+)
+def test_commit_invariant_under_randomized_execution(copies, workers, fault_prob, seed):
+    """Property: any worker count + fault rate commits the identical result."""
+    mem = sum_memory(n_chunks=copies, chunk=17)
+    injector = (
+        FaultInjector(fault_prob, RandomStreams(seed), max_faults_per_task=4)
+        if fault_prob
+        else None
+    )
+    runtime = CalypsoRuntime(workers=workers, fault_injector=injector)
+    report = runtime.execute_step(sum_step(copies=copies), mem)
+    assert report.tasks == copies
+    total = sum(mem[f"p{i}"] for i in range(copies))
+    assert total == sum(range(copies * 17))

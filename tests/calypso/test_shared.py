@@ -1,0 +1,102 @@
+"""Unit tests for CREW shared memory."""
+
+import pytest
+
+from repro.calypso.shared import SharedMemory, TaskView, merge_buffers
+from repro.errors import CalypsoError, ConcurrentWriteError
+
+
+class TestSharedMemory:
+    def test_declare_and_read(self):
+        mem = SharedMemory(x=1)
+        mem.declare("y", 2)
+        assert mem["x"] == 1
+        assert mem["y"] == 2
+        assert "x" in mem and "z" not in mem
+
+    def test_redeclare_rejected(self):
+        mem = SharedMemory(x=1)
+        with pytest.raises(CalypsoError):
+            mem.declare("x", 2)
+
+    def test_undeclared_read_rejected(self):
+        with pytest.raises(CalypsoError):
+            SharedMemory()["ghost"]
+
+    def test_sequential_write(self):
+        mem = SharedMemory(x=1)
+        mem["x"] = 5
+        assert mem["x"] == 5
+
+    def test_snapshot_is_detached(self):
+        mem = SharedMemory(x=1)
+        snap = mem.snapshot()
+        mem["x"] = 2
+        assert snap["x"] == 1
+
+    def test_apply(self):
+        mem = SharedMemory(x=1, y=2)
+        mem.apply({"x": 10})
+        assert mem["x"] == 10
+        assert mem["y"] == 2
+
+    def test_apply_undeclared_rejected(self):
+        with pytest.raises(CalypsoError):
+            SharedMemory(x=1).apply({"ghost": 1})
+
+    def test_iteration(self):
+        assert sorted(SharedMemory(a=1, b=2)) == ["a", "b"]
+
+
+class TestTaskView:
+    def test_reads_snapshot(self):
+        view = TaskView({"x": 1})
+        assert view["x"] == 1
+
+    def test_own_writes_visible_to_self(self):
+        view = TaskView({"x": 1})
+        view["x"] = 99
+        assert view["x"] == 99
+        assert view.writes == {"x": 99}
+
+    def test_writes_isolated_between_views(self):
+        snap = {"x": 1}
+        a = TaskView(snap)
+        b = TaskView(snap)
+        a["x"] = 5
+        assert b["x"] == 1
+
+    def test_undeclared_read(self):
+        with pytest.raises(CalypsoError):
+            TaskView({})["ghost"]
+
+    def test_undeclared_write(self):
+        with pytest.raises(CalypsoError):
+            TaskView({})["ghost"] = 1
+
+    def test_contains(self):
+        view = TaskView({"x": 1})
+        assert "x" in view
+        assert "y" not in view
+
+
+class TestMergeBuffers:
+    def test_disjoint_writes_merge(self):
+        merged = merge_buffers({("r", 0): {"a": 1}, ("r", 1): {"b": 2}})
+        assert merged == {"a": 1, "b": 2}
+
+    def test_conflicting_writes_raise(self):
+        with pytest.raises(ConcurrentWriteError):
+            merge_buffers({("r", 0): {"a": 1}, ("r", 1): {"a": 1}})
+
+    def test_conflict_regardless_of_value(self):
+        """Exclusive write is about ownership, not value coincidence."""
+        with pytest.raises(ConcurrentWriteError):
+            merge_buffers({("r", 0): {"a": 7}, ("s", 0): {"a": 7}})
+
+    def test_single_writer_many_keys(self):
+        merged = merge_buffers({("r", 0): {"a": 1, "b": 2}})
+        assert merged == {"a": 1, "b": 2}
+
+    def test_empty(self):
+        assert merge_buffers({}) == {}

@@ -1,0 +1,64 @@
+"""Unit tests for routines and parallel steps."""
+
+import pytest
+
+from repro.calypso.routine import Routine
+from repro.calypso.step import ParallelStep, StepReport
+from repro.errors import CalypsoError
+
+
+def noop(view, width, number):
+    return None
+
+
+class TestRoutine:
+    def test_basic(self):
+        r = Routine(noop, copies=3, name="work")
+        assert r.copies == 3
+
+    def test_body_must_be_callable(self):
+        with pytest.raises(CalypsoError):
+            Routine("nope")  # type: ignore[arg-type]
+
+    def test_copies_positive_int(self):
+        with pytest.raises(CalypsoError):
+            Routine(noop, copies=0)
+        with pytest.raises(CalypsoError):
+            Routine(noop, copies=True)
+
+
+class TestParallelStep:
+    def test_logical_tasks(self):
+        step = ParallelStep(
+            (Routine(noop, copies=2, name="a"), Routine(noop, copies=3, name="b"))
+        )
+        tasks = step.logical_tasks()
+        assert len(tasks) == 5
+        assert step.total_tasks == 5
+        assert tasks[0].key == ("a", 0)
+        assert tasks[0].width == 2
+        assert tasks[4].key == ("b", 2)
+        assert tasks[4].width == 3
+
+    def test_auto_names(self):
+        step = ParallelStep((Routine(noop), Routine(noop)))
+        names = [r.name for r in step.routines]
+        assert names == ["routine0", "routine1"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(CalypsoError):
+            ParallelStep((Routine(noop, name="x"), Routine(noop, name="x")))
+
+    def test_empty_step_rejected(self):
+        with pytest.raises(CalypsoError):
+            ParallelStep(())
+
+
+class TestStepReport:
+    def test_overhead_ratio(self):
+        rep = StepReport("s", tasks=4, executions=6, faults_masked=1, duplicates=1)
+        assert rep.overhead_ratio == 1.5
+
+    def test_zero_tasks(self):
+        rep = StepReport("s", tasks=0, executions=0, faults_masked=0, duplicates=0)
+        assert rep.overhead_ratio == 0.0

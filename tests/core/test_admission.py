@@ -1,0 +1,72 @@
+"""Unit tests for admission control."""
+
+import pytest
+
+from repro.core.admission import AdmissionController
+from repro.core.greedy import GreedyScheduler
+from repro.core.resources import ProcessorTimeRequest
+from repro.core.schedule import Schedule
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+
+
+def job(procs=2, dur=5.0, deadline=20.0, release=0.0):
+    chain = TaskChain(
+        (TaskSpec("t", ProcessorTimeRequest(procs, dur), deadline=deadline),)
+    )
+    return Job.rigid(chain, release=release)
+
+
+def make_controller(capacity=4, compact=True):
+    schedule = Schedule(capacity)
+    return AdmissionController(GreedyScheduler(schedule), compact=compact)
+
+
+class TestOffer:
+    def test_admit(self):
+        ctl = make_controller()
+        decision = ctl.offer(job())
+        assert decision.admitted
+        assert decision.placement is not None
+        assert decision.chain_index == 0
+        assert decision.finish == 5.0
+        assert ctl.admitted == 1
+        assert ctl.rejected == 0
+        assert ctl.offered == 1
+
+    def test_reject(self):
+        ctl = make_controller(capacity=1)
+        ctl.offer(job(procs=1, dur=30.0, deadline=100.0))
+        decision = ctl.offer(job(procs=1, dur=5.0, deadline=10.0))
+        assert not decision.admitted
+        assert decision.placement is None
+        assert decision.chain_index is None
+        assert decision.finish is None
+        assert "no schedulable" in decision.reason
+        assert ctl.rejected == 1
+
+    def test_decisions_by_chain(self):
+        ctl = make_controller()
+        for _ in range(3):
+            ctl.offer(job(dur=1.0, deadline=1000.0))
+        assert ctl.decisions_by_chain == {0: 3}
+
+    def test_compaction_advances_origin(self):
+        ctl = make_controller(compact=True)
+        ctl.offer(job(release=0.0, deadline=1000.0))
+        ctl.offer(job(release=50.0, deadline=1000.0))
+        assert ctl.scheduler.schedule.profile.origin == 50.0
+
+    def test_no_compaction_when_disabled(self):
+        ctl = make_controller(compact=False)
+        ctl.offer(job(release=0.0, deadline=1000.0))
+        ctl.offer(job(release=50.0, deadline=1000.0))
+        assert ctl.scheduler.schedule.profile.origin == 0.0
+
+    def test_rejected_job_leaves_schedule_untouched(self):
+        ctl = make_controller(capacity=2)
+        ctl.offer(job(procs=2, dur=10.0, deadline=100.0))
+        snapshot = ctl.scheduler.schedule.profile.copy()
+        ctl.offer(job(procs=2, dur=5.0, deadline=5.0))
+        assert ctl.scheduler.schedule.profile == snapshot

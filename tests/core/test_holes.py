@@ -1,0 +1,114 @@
+"""Unit tests for maximal-hole enumeration."""
+
+import math
+
+import pytest
+
+from repro.core.holes import (
+    MaximalHole,
+    first_fit_via_holes,
+    holes_containing,
+    maximal_holes,
+)
+from repro.core.profile import AvailabilityProfile
+
+
+class TestMaximalHole:
+    def test_duration_and_area(self):
+        h = MaximalHole(2.0, 6.0, 3)
+        assert h.duration == 4.0
+        assert h.area == 12.0
+
+    def test_infinite_hole(self):
+        h = MaximalHole(0.0, math.inf, 2)
+        assert math.isinf(h.duration)
+        assert math.isinf(h.area)
+
+    def test_contains(self):
+        big = MaximalHole(0.0, 10.0, 4)
+        assert big.contains(MaximalHole(2.0, 8.0, 2))
+        assert big.contains(big)
+        assert not big.contains(MaximalHole(2.0, 12.0, 2))
+        assert not big.contains(MaximalHole(2.0, 8.0, 5))
+
+    def test_fits(self):
+        h = MaximalHole(5.0, 15.0, 3)
+        assert h.fits(3, 10.0)
+        assert not h.fits(4, 1.0)
+        assert not h.fits(1, 11.0)
+        assert h.fits(1, 5.0, release=8.0)
+        assert not h.fits(1, 8.0, release=8.0)
+        assert not h.fits(1, 5.0, release=8.0, deadline=12.0)
+
+
+class TestEnumeration:
+    def test_fresh_profile_single_hole(self):
+        p = AvailabilityProfile(4)
+        holes = maximal_holes(p)
+        assert holes == [MaximalHole(0.0, math.inf, 4)]
+
+    def test_single_reservation(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 10.0, 2)
+        holes = maximal_holes(p, horizon=20.0)
+        assert MaximalHole(0.0, 20.0, 2) in holes
+        assert MaximalHole(10.0, 20.0, 4) in holes
+        assert len(holes) == 2
+
+    def test_staircase(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 30.0, 1)  # avail 3 on [0,30)
+        p.reserve(0.0, 20.0, 1)  # avail 2 on [0,20)
+        p.reserve(0.0, 10.0, 1)  # avail 1 on [0,10)
+        holes = maximal_holes(p, horizon=40.0)
+        expected = {
+            MaximalHole(0.0, 40.0, 1),
+            MaximalHole(10.0, 40.0, 2),
+            MaximalHole(20.0, 40.0, 3),
+            MaximalHole(30.0, 40.0, 4),
+        }
+        assert set(holes) == expected
+
+    def test_full_segment_creates_no_hole(self):
+        p = AvailabilityProfile(2)
+        p.reserve(5.0, 10.0, 2)
+        holes = maximal_holes(p, horizon=20.0)
+        assert all(not (h.t_b >= 5.0 and h.t_e <= 10.0) for h in holes)
+        assert MaximalHole(0.0, 5.0, 2) in holes
+        assert MaximalHole(10.0, 20.0, 2) in holes
+
+    def test_no_nesting(self):
+        p = AvailabilityProfile(6)
+        p.reserve(0.0, 4.0, 3)
+        p.reserve(8.0, 12.0, 5)
+        p.reserve(2.0, 10.0, 1)
+        holes = maximal_holes(p, horizon=30.0)
+        for a in holes:
+            for b in holes:
+                assert a == b or not a.contains(b)
+
+    def test_sorted_output(self):
+        p = AvailabilityProfile(4)
+        p.reserve(3.0, 7.0, 2)
+        p.reserve(10.0, 11.0, 4)
+        holes = maximal_holes(p, horizon=20.0)
+        assert holes == sorted(holes)
+
+
+class TestQueries:
+    def test_holes_containing(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 10.0, 2)
+        holes = maximal_holes(p, horizon=20.0)
+        at5 = holes_containing(holes, 5.0)
+        assert all(h.t_b <= 5.0 < h.t_e for h in at5)
+        assert holes_containing(holes, 5.0, processors=4) == []
+
+    def test_first_fit_via_holes_matches_simple_case(self):
+        p = AvailabilityProfile(4)
+        p.reserve(0.0, 10.0, 3)
+        holes = maximal_holes(p)
+        assert first_fit_via_holes(holes, 2, 5.0, 0.0) == 10.0
+        assert first_fit_via_holes(holes, 1, 5.0, 0.0) == 0.0
+        assert first_fit_via_holes(holes, 2, 5.0, 0.0, deadline=8.0) is None
+        assert first_fit_via_holes(holes, 5, 1.0, 0.0) is None

@@ -1,0 +1,75 @@
+"""Property tests: holes are maximal, cover all placements, match first fit."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.first_fit import earliest_fit
+from repro.core.holes import first_fit_via_holes, maximal_holes
+from tests.conftest import loaded_profiles, nice_durations, nice_times
+
+
+@given(loaded_profiles())
+def test_holes_are_mutually_non_contained(profile):
+    holes = maximal_holes(profile, horizon=100.0)
+    for a in holes:
+        for b in holes:
+            assert a == b or not a.contains(b)
+
+
+@given(loaded_profiles())
+def test_hole_height_is_min_availability_over_extent(profile):
+    for hole in maximal_holes(profile, horizon=100.0):
+        end = min(hole.t_e, 100.0)
+        assert profile.min_available(hole.t_b, end) == hole.m
+
+
+@given(loaded_profiles())
+def test_holes_are_time_maximal(profile):
+    """Extending a hole slightly in either direction breaks availability."""
+    for hole in maximal_holes(profile, horizon=100.0):
+        if hole.t_b > profile.origin:
+            assert profile.available_at(hole.t_b - 0.25) < hole.m
+        if hole.t_e < 100.0:
+            assert profile.available_at(hole.t_e) < hole.m
+
+
+@given(loaded_profiles(), nice_times, nice_durations, st.integers(1, 8))
+def test_every_feasible_rectangle_is_inside_some_hole(profile, start, duration, procs):
+    """If (start, start+duration) x procs fits the profile, a maximal hole covers it."""
+    end = start + duration
+    if profile.min_available(start, end) < procs:
+        return
+    holes = maximal_holes(profile, horizon=end + 200.0)
+    assert any(
+        h.t_b <= start + 1e-9 and end <= h.t_e + 1e-9 and h.m >= procs
+        for h in holes
+    )
+
+
+@given(loaded_profiles(), st.integers(1, 8), nice_durations, nice_times)
+def test_first_fit_matches_hole_oracle(profile, procs, duration, release):
+    """earliest_fit and the maximal-hole oracle agree everywhere."""
+    fast = earliest_fit(profile, procs, duration, release)
+    holes = maximal_holes(profile)  # infinite horizon: includes trailing holes
+    oracle = first_fit_via_holes(holes, procs, duration, max(release, profile.origin))
+    if procs > profile.capacity:
+        assert fast is None
+        return
+    assert fast is not None and oracle is not None
+    assert math.isclose(fast, oracle, abs_tol=1e-9)
+
+
+@given(loaded_profiles(), st.integers(1, 8), nice_durations, nice_times, nice_durations)
+def test_first_fit_matches_hole_oracle_with_deadline(
+    profile, procs, duration, release, slack
+):
+    deadline = release + duration + slack
+    fast = earliest_fit(profile, procs, duration, release, deadline)
+    oracle = first_fit_via_holes(
+        maximal_holes(profile), procs, duration, max(release, profile.origin), deadline
+    )
+    assert (fast is None) == (oracle is None)
+    if fast is not None:
+        assert math.isclose(fast, oracle, abs_tol=1e-9)

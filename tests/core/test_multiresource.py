@@ -1,0 +1,174 @@
+"""Unit and property tests for the multi-resource (vector) model."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multiresource import (
+    MultiResourceProfile,
+    VectorRequest,
+    earliest_vector_fit,
+)
+from repro.errors import (
+    CapacityExceededError,
+    ConfigurationError,
+    InvalidTaskError,
+    SchedulingError,
+)
+
+
+def profile(**capacities):
+    return MultiResourceProfile(capacities or {"cpu": 4, "mem": 8})
+
+
+class TestVectorRequest:
+    def test_basic(self):
+        req = VectorRequest({"cpu": 2, "mem": 4}, 5.0)
+        assert req.resources == {"cpu", "mem"}
+        assert req.area("cpu") == 10.0
+        assert req.area("mem") == 20.0
+
+    def test_validation(self):
+        with pytest.raises(InvalidTaskError):
+            VectorRequest({}, 1.0)
+        with pytest.raises(InvalidTaskError):
+            VectorRequest({"cpu": 0}, 1.0)
+        with pytest.raises(InvalidTaskError):
+            VectorRequest({"cpu": 1}, 0.0)
+        with pytest.raises(InvalidTaskError):
+            VectorRequest({"cpu": True}, 1.0)
+
+    def test_amounts_read_only(self):
+        req = VectorRequest({"cpu": 1}, 1.0)
+        with pytest.raises(TypeError):
+            req.amounts["cpu"] = 5  # type: ignore[index]
+
+
+class TestMultiResourceProfile:
+    def test_construction(self):
+        p = profile()
+        assert set(p.resources) == {"cpu", "mem"}
+        assert p.capacity("cpu") == 4
+        assert p.capacity("mem") == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MultiResourceProfile({})
+
+    def test_unknown_resource(self):
+        p = profile()
+        with pytest.raises(SchedulingError):
+            p.capacity("gpu")
+        with pytest.raises(SchedulingError):
+            p.fits_at(VectorRequest({"gpu": 1}, 1.0), 0.0)
+
+    def test_reserve_and_fits(self):
+        p = profile()
+        req = VectorRequest({"cpu": 2, "mem": 4}, 5.0)
+        assert p.fits_at(req, 0.0)
+        p.reserve(req, 0.0)
+        assert p.fits_at(req, 0.0)  # half of each resource remains
+        p.reserve(req, 0.0)
+        assert not p.fits_at(req, 0.0)
+        assert p.fits_at(req, 5.0)
+        p.check_invariants()
+
+    def test_reserve_atomic_on_partial_failure(self):
+        p = profile()
+        # Exhaust mem but not cpu over [0, 5).
+        p.reserve(VectorRequest({"mem": 8}, 5.0), 0.0)
+        before_cpu = p.profile("cpu").copy()
+        with pytest.raises(CapacityExceededError):
+            p.reserve(VectorRequest({"cpu": 1, "mem": 1}, 2.0), 0.0)
+        assert p.profile("cpu") == before_cpu  # cpu rollback happened
+
+    def test_release_roundtrip(self):
+        p = profile()
+        req = VectorRequest({"cpu": 3, "mem": 2}, 4.0)
+        p.reserve(req, 1.0)
+        p.release(req, 1.0)
+        assert p.profile("cpu").available_at(2.0) == 4
+        assert p.profile("mem").available_at(2.0) == 8
+
+    def test_partial_resource_request(self):
+        """A request may touch only a subset of resources."""
+        p = profile()
+        p.reserve(VectorRequest({"cpu": 4}, 10.0), 0.0)
+        assert p.profile("mem").available_at(5.0) == 8
+
+    def test_segments(self):
+        p = profile()
+        p.reserve(VectorRequest({"cpu": 1}, 2.0), 0.0)
+        rows = list(p.segments())
+        assert any(r[0] == "cpu" and r[3] == 3 for r in rows)
+        assert any(r[0] == "mem" and r[3] == 8 for r in rows)
+
+
+class TestEarliestVectorFit:
+    def test_empty_machine(self):
+        p = profile()
+        req = VectorRequest({"cpu": 2, "mem": 4}, 5.0)
+        assert earliest_vector_fit(p, req, 3.0) == 3.0
+
+    def test_waits_for_binding_resource(self):
+        p = profile()
+        p.reserve(VectorRequest({"mem": 7}, 10.0), 0.0)  # mem is the bottleneck
+        req = VectorRequest({"cpu": 1, "mem": 4}, 2.0)
+        assert earliest_vector_fit(p, req, 0.0) == 10.0
+
+    def test_alternating_bottlenecks(self):
+        """The fixpoint must hop across resources until both agree."""
+        p = profile()
+        p.reserve(VectorRequest({"cpu": 4}, 5.0), 0.0)    # cpu busy [0,5)
+        p.reserve(VectorRequest({"mem": 8}, 4.0), 5.0)    # mem busy [5,9)
+        p.reserve(VectorRequest({"cpu": 4}, 3.0), 9.0)    # cpu busy [9,12)
+        req = VectorRequest({"cpu": 1, "mem": 1}, 1.0)
+        assert earliest_vector_fit(p, req, 0.0) == 12.0
+
+    def test_deadline(self):
+        p = profile()
+        p.reserve(VectorRequest({"cpu": 4, "mem": 8}, 10.0), 0.0)
+        req = VectorRequest({"cpu": 1, "mem": 1}, 5.0)
+        assert earliest_vector_fit(p, req, 0.0, deadline=12.0) is None
+        assert earliest_vector_fit(p, req, 0.0, deadline=15.0) == 10.0
+
+    def test_oversized_request(self):
+        p = profile()
+        assert earliest_vector_fit(p, VectorRequest({"cpu": 5}, 1.0), 0.0) is None
+
+    @given(st.data())
+    def test_fixpoint_result_is_feasible_and_minimal(self, data):
+        """Property: the fit is feasible and no breakpoint start before it is."""
+        p = MultiResourceProfile({"a": 4, "b": 4})
+        # Random feasible reservation history on both resources.
+        for _ in range(data.draw(st.integers(0, 8))):
+            name = data.draw(st.sampled_from(["a", "b"]))
+            t0 = data.draw(st.integers(0, 40)) / 2
+            dur = data.draw(st.integers(1, 16)) / 2
+            avail = p.profile(name).min_available(t0, t0 + dur)
+            if avail == 0:
+                continue
+            units = data.draw(st.integers(1, avail))
+            p.reserve(VectorRequest({name: units}, dur), t0)
+        req = VectorRequest(
+            {
+                "a": data.draw(st.integers(1, 4)),
+                "b": data.draw(st.integers(1, 4)),
+            },
+            data.draw(st.integers(1, 10)) / 2,
+        )
+        release = data.draw(st.integers(0, 30)) / 2
+        fit = earliest_vector_fit(p, req, release)
+        assert fit is not None  # capacities always suffice eventually
+        assert p.fits_at(req, fit)
+        # Minimality: no earlier candidate (release or any breakpoint) fits.
+        candidates = {release}
+        for name in ("a", "b"):
+            candidates.update(
+                t for t in p.profile(name).breakpoints if release <= t < fit
+            )
+        for cand in candidates:
+            if cand < fit - 1e-9:
+                assert not p.fits_at(req, cand)

@@ -1,0 +1,107 @@
+"""Unit tests for placement records."""
+
+import math
+
+import pytest
+
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ScheduleConsistencyError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+
+
+def make_chain():
+    return TaskChain(
+        (
+            TaskSpec("a", ProcessorTimeRequest(2, 5.0), deadline=20.0),
+            TaskSpec("b", ProcessorTimeRequest(1, 3.0), deadline=40.0),
+        )
+    )
+
+
+class TestPlacement:
+    def test_rigid_matches_request(self):
+        t = TaskSpec("x", ProcessorTimeRequest(3, 4.0), deadline=10.0)
+        pl = Placement.rigid(t, 2.0)
+        assert pl.processors == 3
+        assert pl.duration == 4.0
+        assert pl.end == 6.0
+        assert pl.area == 12.0
+
+    def test_nonfinite_start_rejected(self):
+        t = TaskSpec("x", ProcessorTimeRequest(1, 1.0), deadline=10.0)
+        with pytest.raises(ScheduleConsistencyError):
+            Placement(t, math.inf, 1, 1.0)
+        with pytest.raises(ScheduleConsistencyError):
+            Placement(t, math.nan, 1, 1.0)
+
+    def test_nonpositive_extent_rejected(self):
+        t = TaskSpec("x", ProcessorTimeRequest(1, 1.0), deadline=10.0)
+        with pytest.raises(ScheduleConsistencyError):
+            Placement(t, 0.0, 0, 1.0)
+        with pytest.raises(ScheduleConsistencyError):
+            Placement(t, 0.0, 1, 0.0)
+
+
+class TestChainPlacement:
+    def make(self, start_a=0.0, start_b=5.0, release=0.0):
+        chain = make_chain()
+        return ChainPlacement(
+            job_id=1,
+            chain_index=0,
+            chain=chain,
+            placements=(
+                Placement.rigid(chain[0], start_a),
+                Placement.rigid(chain[1], start_b),
+            ),
+            release=release,
+        )
+
+    def test_valid_placement(self):
+        cp = self.make()
+        cp.validate()
+        assert cp.start == 0.0
+        assert cp.finish == 8.0
+        assert cp.response_time == 8.0
+        assert cp.total_area == 2 * 5 + 1 * 3
+
+    def test_gap_between_tasks_is_fine(self):
+        cp = self.make(start_b=10.0)
+        cp.validate()
+        assert cp.finish == 13.0
+
+    def test_precedence_violation(self):
+        cp = self.make(start_a=3.0, start_b=5.0)  # a ends at 8 > b start 5
+        with pytest.raises(ScheduleConsistencyError, match="predecessor"):
+            cp.validate()
+
+    def test_start_before_release(self):
+        cp = self.make(release=1.0)  # a starts at 0 < release 1
+        with pytest.raises(ScheduleConsistencyError):
+            cp.validate()
+
+    def test_deadline_violation(self):
+        cp = self.make(start_a=16.0, start_b=21.0)  # a ends 21 > deadline 20
+        with pytest.raises(ScheduleConsistencyError, match="deadline"):
+            cp.validate()
+
+    def test_deadline_relative_to_release(self):
+        # Released at 10: a may finish by 30.
+        cp = self.make(start_a=20.0, start_b=25.0, release=10.0)
+        cp.validate()
+
+    def test_placement_count_mismatch(self):
+        chain = make_chain()
+        with pytest.raises(ScheduleConsistencyError):
+            ChainPlacement(
+                job_id=1,
+                chain_index=0,
+                chain=chain,
+                placements=(Placement.rigid(chain[0], 0.0),),
+                release=0.0,
+            )
+
+    def test_iteration(self):
+        cp = self.make()
+        assert [pl.task.name for pl in cp] == ["a", "b"]

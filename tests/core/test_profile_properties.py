@@ -1,0 +1,90 @@
+"""Property-based tests for the availability profile (hypothesis)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.profile import AvailabilityProfile
+from tests.conftest import loaded_profiles, nice_durations, nice_times, reservations
+
+
+@given(loaded_profiles())
+def test_invariants_always_hold(profile: AvailabilityProfile):
+    profile.check_invariants()
+
+
+@given(loaded_profiles())
+def test_availability_bounded(profile: AvailabilityProfile):
+    for start, _end, avail in profile.segments():
+        assert 0 <= avail <= profile.capacity
+        assert profile.available_at(start) == avail
+
+
+@given(st.data())
+def test_reserve_release_roundtrip(data):
+    capacity = data.draw(st.integers(min_value=1, max_value=8))
+    ops = data.draw(reservations(capacity))
+    profile = AvailabilityProfile(capacity)
+    fresh = profile.copy()
+    for t0, t1, procs in ops:
+        profile.reserve(t0, t1, procs)
+    for t0, t1, procs in reversed(ops):
+        profile.release(t0, t1, procs)
+    assert profile == fresh
+
+
+@given(st.data())
+def test_release_order_irrelevant(data):
+    capacity = data.draw(st.integers(min_value=1, max_value=6))
+    ops = data.draw(reservations(capacity, max_ops=8))
+    a = AvailabilityProfile(capacity)
+    b = AvailabilityProfile(capacity)
+    for t0, t1, procs in ops:
+        a.reserve(t0, t1, procs)
+        b.reserve(t0, t1, procs)
+    for t0, t1, procs in ops:  # forward order on a
+        a.release(t0, t1, procs)
+    for t0, t1, procs in reversed(ops):  # reverse on b
+        b.release(t0, t1, procs)
+    assert a == b == AvailabilityProfile(capacity)
+
+
+@given(loaded_profiles(), nice_times, nice_durations, nice_durations)
+def test_free_area_additive(profile, t0, d1, d2):
+    mid = t0 + d1
+    t1 = mid + d2
+    total = profile.free_area(t0, t1)
+    parts = profile.free_area(t0, mid) + profile.free_area(mid, t1)
+    assert total == pytest.approx(parts)
+
+
+@given(loaded_profiles(), nice_times, nice_durations)
+def test_min_available_is_pointwise_min(profile, t0, d):
+    t1 = t0 + d
+    lo = profile.min_available(t0, t1)
+    # Sample availability at segment starts inside the window plus t0.
+    samples = [profile.available_at(t0)]
+    for start, _end, avail in profile.segments():
+        if t0 < start < t1:
+            samples.append(avail)
+    assert lo == min(samples)
+
+
+@given(loaded_profiles(), nice_times, nice_durations)
+def test_busy_plus_free_equals_capacity_area(profile, t0, d):
+    t1 = t0 + d
+    total = profile.capacity * (t1 - t0)
+    assert profile.busy_area(t0, t1) + profile.free_area(t0, t1) == pytest.approx(total)
+
+
+@given(loaded_profiles(), nice_times)
+def test_compact_preserves_future(profile, cut):
+    reference = profile.copy()
+    profile.compact(cut)
+    profile.check_invariants()
+    future_times = [cut, cut + 0.5, cut + 7.0, cut + 100.0]
+    for start, _end, _a in reference.segments():
+        if start >= cut:
+            future_times.append(start)
+    for t in future_times:
+        assert profile.available_at(t) == reference.available_at(t)

@@ -1,0 +1,66 @@
+"""Small-scale runs of the figure experiments (structure, not shape).
+
+Shape assertions against the paper's claims live in
+tests/integration/test_paper_claims.py; these tests only check that the
+experiment runners produce well-formed output quickly.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import render_fig5, run_fig5a, run_fig5b
+from repro.experiments.fig6 import render_fig6, run_fig6_panel
+from repro.experiments.junction_fig2 import render_fig2, run_fig2
+from repro.workloads import SweepConfig, presets
+from repro.workloads.sweep import run_sweep
+
+
+class TestFig5Runners:
+    def test_fig5a_structure(self):
+        sweep = run_fig5a(n_jobs=50)
+        assert sweep.axis == "interval"
+        assert sweep.values == presets.FIG5A_INTERVALS
+        assert set(sweep.systems) == {"tunable", "shape1", "shape2"}
+
+    def test_fig5b_structure(self):
+        sweep = run_fig5b(n_jobs=50)
+        assert sweep.axis == "laxity"
+        assert sweep.values == presets.FIG5B_LAXITIES
+
+    def test_render(self):
+        sweep = run_sweep(
+            "interval", [20.0, 60.0], SweepConfig(n_jobs=40, seed=3)
+        )
+        text = render_fig5(sweep, "a")
+        assert "utilization vs interval" in text
+        assert "throughput" in text
+
+
+class TestFig6Runners:
+    def test_panel_structure(self):
+        panel = run_fig6_panel(malleable=False, n_jobs=50)
+        assert panel.interval_sweep.axis == "interval"
+        assert panel.laxity_sweep.axis == "laxity"
+        rows = panel.benefit_rows("interval")
+        assert len(rows) == len(presets.FIG6_INTERVALS)
+        assert "benefit_over_shape1" in rows[0]
+
+    def test_render(self):
+        panel = run_fig6_panel(malleable=True, n_jobs=40)
+        text = render_fig6(panel)
+        assert "malleable" in text
+        assert "benefit" in text
+
+
+class TestFig2Runner:
+    def test_rows(self):
+        rows = run_fig2(n_images=2, size=128)
+        assert len(rows) == 2
+        fine, coarse = rows
+        assert fine.granularity < coarse.granularity
+        assert coarse.step1_work < fine.step1_work
+        assert coarse.step3_work > fine.step3_work
+        assert 0 <= fine.f1 <= 1
+
+    def test_render(self):
+        text = render_fig2(run_fig2(n_images=1))
+        assert "junction detection" in text

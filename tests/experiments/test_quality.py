@@ -1,0 +1,41 @@
+"""Tests for the quality-degradation experiment (extension)."""
+
+import pytest
+
+from repro.experiments.quality import render_quality, run_quality_degradation
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_quality_degradation(intervals=(15.0, 45.0, 85.0), n_jobs=250)
+
+
+class TestQualityDegradation:
+    def test_structure(self, points):
+        assert len(points) == 6  # 3 intervals x 2 objectives
+        for p in points:
+            assert p.offered == 250
+            assert 0 <= p.quality_ratio <= 1
+            assert sum(p.tier_usage.values()) == p.admitted
+
+    def test_graceful_degradation(self, points):
+        """Quality ratio rises with arrival interval for both objectives."""
+        for objective in ("max-quality", "earliest-finish"):
+            series = [
+                p.quality_ratio
+                for p in points
+                if p.objective == objective
+            ]
+            assert series == sorted(series)
+
+    def test_premium_share_rises_with_headroom(self, points):
+        maxq = [p for p in points if p.objective == "max-quality"]
+        shares = [
+            p.tier_usage["premium"] / p.admitted for p in maxq if p.admitted
+        ]
+        assert shares[-1] > shares[0]
+
+    def test_render(self, points):
+        text = render_quality(points)
+        assert "quality_ratio" in text
+        assert "premium" in text

@@ -1,0 +1,42 @@
+"""Unit tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.__main__ import main
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for exp_id in ("fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig2"):
+            assert exp_id in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert any(k.startswith("ablation-") for k in EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        for exp_id in ("best-effort", "quality", "survival"):
+            assert exp_id in EXPERIMENTS
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_fig2_runs(self):
+        report = run_experiment("fig2")
+        assert "granularity" in report
+        assert "fine" in report and "coarse" in report
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5a" in out
+
+    def test_run_one(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig2 ===" in out

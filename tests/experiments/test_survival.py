@@ -1,0 +1,41 @@
+"""Tests for the capacity-drop survival experiment (extension)."""
+
+import pytest
+
+from repro.experiments.survival import render_survival, run_survival
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_survival(new_capacities=(20, 12), n_jobs=200)
+
+
+class TestSurvival:
+    def test_structure(self, points):
+        assert len(points) == 6  # 3 systems x 2 capacities
+        for p in points:
+            assert p.carried + p.reallocated + p.dropped == p.affected
+            assert 0.0 <= p.survival_rate <= 1.0
+
+    def test_tunable_switches_paths(self, points):
+        tunable = [p for p in points if p.system == "tunable"]
+        assert any(p.path_switches > 0 for p in tunable)
+        rigid = [p for p in points if p.system != "tunable"]
+        assert all(p.path_switches == 0 for p in rigid)
+
+    def test_tunable_survives_moderate_drop_best(self, points):
+        at20 = {p.system: p for p in points if p.new_capacity == 20}
+        assert at20["tunable"].survival_rate >= at20["shape1"].survival_rate
+        assert at20["tunable"].survival_rate >= at20["shape2"].survival_rate
+
+    def test_sub_width_drop_kills_rigid_tasks(self, points):
+        """Dropping below the tall task's width (16) strands everyone —
+        rigid tasks cannot shrink in this model."""
+        at12 = {p.system: p for p in points if p.new_capacity == 12}
+        for p in at12.values():
+            assert p.survival_rate < 0.1
+
+    def test_render(self, points):
+        text = render_survival(points)
+        assert "survival" in text
+        assert "path_switches" in text

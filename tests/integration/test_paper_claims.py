@@ -1,0 +1,159 @@
+"""Scaled-down shape assertions for every quantitative claim of Section 5.
+
+These are the reproduction's acceptance tests: each test pins one sentence
+of the paper's evaluation prose to a measurable inequality at reduced scale
+(600-1,000 arrivals; the full-scale numbers live in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.workloads import SweepConfig, run_point
+from repro.workloads.sweep import run_sweep
+from repro.workloads.synthetic import SyntheticParams
+
+N = 800
+SEED = 1999
+
+
+def cfg(**kw):
+    params_kw = {"alpha": 0.5, "laxity": 0.5}
+    for key in ("alpha", "laxity"):
+        if key in kw:
+            params_kw[key] = kw.pop(key)
+    config_kw = {"processors": 16, "interval": 30.0, "n_jobs": N, "seed": SEED}
+    config_kw.update(kw)
+    return SweepConfig(
+        params=SyntheticParams(x=16, t=25.0, **params_kw), **config_kw
+    )
+
+
+def throughputs(config):
+    return {s: run_point(config, s).throughput for s in ("tunable", "shape1", "shape2")}
+
+
+class TestFig5aArrivalInterval:
+    """"It is in the middle range of arrival intervals ... that the tunable
+    system achieves the largest improvement in both utilization and
+    throughput."""
+
+    def test_tunable_dominates_at_moderate_load(self):
+        t = throughputs(cfg(interval=30.0))
+        assert t["tunable"] > t["shape1"]
+        assert t["tunable"] > t["shape2"]
+
+    def test_middle_range_peak_benefit(self):
+        gaps = {}
+        for interval in (10.0, 60.0, 85.0):
+            t = throughputs(cfg(interval=interval))
+            gaps[interval] = t["tunable"] - max(t["shape1"], t["shape2"])
+        # Heavy overload (10): everyone saturated, tiny gap.  Moderate (60):
+        # the peak.  Light (85): shrinking again toward full admission.
+        assert gaps[60.0] > gaps[10.0]
+        assert gaps[60.0] >= gaps[85.0]
+
+    def test_saturated_system_utilization_near_one(self):
+        m = run_point(cfg(interval=10.0), "tunable")
+        assert m.utilization > 0.95
+
+    def test_large_utilization_gain_exists(self):
+        """"up to 30% better system utilization" vs the rigid shapes."""
+        u_tun = run_point(cfg(interval=30.0), "tunable").utilization
+        u_s1 = run_point(cfg(interval=30.0), "shape1").utilization
+        assert u_tun - u_s1 > 0.15
+
+
+class TestFig5bLaxity:
+    """"This improvement goes up with the laxity.  When the laxity is above
+    60%, shape 2 packs really well and catches up ... shape 1 ... preventing
+    its packing even when deadlines are loose."""
+
+    def test_benefit_grows_with_laxity_over_shape1(self):
+        lo = throughputs(cfg(laxity=0.1))
+        hi = throughputs(cfg(laxity=0.8))
+        gain_lo = lo["tunable"] - lo["shape1"]
+        gain_hi = hi["tunable"] - hi["shape1"]
+        assert gain_hi > gain_lo
+
+    def test_shape2_catches_up_at_high_laxity(self):
+        t = throughputs(cfg(laxity=0.95))
+        assert t["tunable"] - t["shape2"] <= 0.03 * N
+
+    def test_shape1_stays_handicapped_at_high_laxity(self):
+        t = throughputs(cfg(laxity=0.95))
+        assert t["tunable"] - t["shape1"] > 0.1 * N
+
+
+class TestFig5cProcessors:
+    """"The non-tunable shapes are not always able to take advantage of more
+    available resources."""
+
+    def test_tunable_dominates_on_small_machine(self):
+        t = throughputs(cfg(processors=16))
+        assert t["tunable"] > max(t["shape1"], t["shape2"])
+
+    def test_benefit_shrinks_with_more_processors(self):
+        small = throughputs(cfg(processors=16))
+        large = throughputs(cfg(processors=64))
+        gap_small = small["tunable"] - max(small["shape1"], small["shape2"])
+        gap_large = large["tunable"] - max(large["shape1"], large["shape2"])
+        assert gap_small > gap_large
+
+    def test_everyone_admits_everything_on_huge_machine(self):
+        t = throughputs(cfg(processors=64))
+        assert t["tunable"] >= 0.99 * N
+        assert t["shape1"] >= 0.99 * N
+
+
+class TestFig5dShape:
+    """"Tunability improves performance [when] alpha is not too large (up to
+    0.625) ... negligible effect when the resource profiles of alternative
+    executions are very similar."""
+
+    def test_benefit_at_small_alpha(self):
+        t = throughputs(cfg(alpha=0.25))
+        assert t["tunable"] > max(t["shape1"], t["shape2"])
+
+    def test_alpha_one_no_difference(self):
+        t = throughputs(cfg(alpha=1.0))
+        assert t["tunable"] == t["shape1"] == t["shape2"]
+
+    def test_benefit_negligible_above_pivot(self):
+        t = throughputs(cfg(alpha=0.75))
+        assert abs(t["tunable"] - t["shape1"]) <= 0.02 * N
+
+
+class TestFig6Malleable:
+    """"tunability achieves less benefit for malleable tasks ... [but] for
+    ... moderately overloaded [systems] and jobs that have moderate laxity,
+    the tunable task system still yields significant performance
+    improvement."""
+
+    def test_malleable_benefit_smaller_than_rigid(self):
+        rigid = throughputs(cfg(interval=30.0))
+        mall = throughputs(cfg(interval=30.0, malleable=True))
+        rigid_gain = rigid["tunable"] - rigid["shape1"]
+        mall_gain = mall["tunable"] - mall["shape1"]
+        assert mall_gain < rigid_gain
+
+    def test_malleable_benefit_still_positive_at_moderate_load(self):
+        mall = throughputs(cfg(interval=30.0, malleable=True))
+        assert mall["tunable"] - mall["shape1"] > 0.02 * N
+        assert mall["tunable"] - mall["shape2"] > 0.02 * N
+
+    def test_malleability_helps_the_rigid_loser(self):
+        """Shape 1 (machine-wide first task) gains most from malleability."""
+        rigid = run_point(cfg(interval=30.0), "shape1").throughput
+        mall = run_point(cfg(interval=30.0, malleable=True), "shape1").throughput
+        assert mall > rigid
+
+
+class TestCrossCutting:
+    def test_admitted_jobs_always_meet_deadlines(self):
+        """The simulator verifies deadlines on every admitted job; a clean
+        run at heavy overload certifies the predictability guarantee."""
+        m = run_point(cfg(interval=8.0), "tunable")
+        assert m.offered == N  # no verification exception was raised
+
+    def test_tunable_uses_both_paths(self):
+        m = run_point(cfg(interval=30.0), "tunable")
+        assert set(m.chain_usage) == {0, 1}

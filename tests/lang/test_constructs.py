@@ -1,0 +1,84 @@
+"""Unit tests for the DSL constructs."""
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ProgramStructureError
+from repro.lang.constructs import (
+    LoopConstruct,
+    SelectBranch,
+    SelectConstruct,
+    TaskConfig,
+    TaskConstruct,
+)
+from repro.lang.expr import P
+
+
+def cfg(values, procs=2, dur=1.0, quality=1.0):
+    return TaskConfig(tuple(values), ProcessorTimeRequest(procs, dur), quality)
+
+
+class TestTaskConstruct:
+    def test_basic(self):
+        t = TaskConstruct(
+            "work", deadline=5.0, parameter_list=("g",), configs=(cfg((16,)),)
+        )
+        assert t.name == "work"
+        assert t.configs[0].values == (16,)
+
+    def test_no_configs(self):
+        with pytest.raises(ProgramStructureError):
+            TaskConstruct("t", 5.0, (), ())
+
+    def test_no_name(self):
+        with pytest.raises(ProgramStructureError):
+            TaskConstruct("", 5.0, (), (cfg(()),))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ProgramStructureError):
+            TaskConstruct("t", 5.0, ("a", "b"), (cfg((1,)),))
+
+    def test_spec_for(self):
+        t = TaskConstruct(
+            "work", deadline=5.0, parameter_list=("g",),
+            configs=(cfg((16,), procs=4, dur=2.0, quality=0.9),),
+        )
+        spec = t.spec_for(t.configs[0], 5.0)
+        assert spec.name == "work"
+        assert spec.processors == 4
+        assert spec.quality == 0.9
+        assert spec.deadline == 5.0
+
+    def test_spec_for_max_concurrency(self):
+        t = TaskConstruct(
+            "work", deadline=5.0, parameter_list=(),
+            configs=(cfg((), procs=4),), max_concurrency=8,
+        )
+        assert t.spec_for(t.configs[0], 5.0).max_concurrency == 8
+
+
+class TestSelectConstruct:
+    def test_empty_branches(self):
+        with pytest.raises(ProgramStructureError):
+            SelectConstruct(())
+
+    def test_branch_holds_body_and_finally(self):
+        inner = TaskConstruct("t", 5.0, (), (cfg(()),))
+        br = SelectBranch(when=P("x") == 1, body=(inner,), finally_binds={"c": 2})
+        sel = SelectConstruct((br,), name="s")
+        assert sel.branches[0].finally_binds == {"c": 2}
+
+
+class TestLoopConstruct:
+    def test_empty_body(self):
+        with pytest.raises(ProgramStructureError):
+            LoopConstruct(count=2, body=())
+
+    def test_negative_count(self):
+        inner = TaskConstruct("t", 5.0, (), (cfg(()),))
+        with pytest.raises(ProgramStructureError):
+            LoopConstruct(count=-1, body=(inner,))
+
+    def test_expr_count_allowed(self):
+        inner = TaskConstruct("t", 5.0, (), (cfg(()),))
+        LoopConstruct(count=P("n"), body=(inner,))

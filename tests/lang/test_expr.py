@@ -1,0 +1,88 @@
+"""Unit tests for scheduling-time expressions."""
+
+import pytest
+
+from repro.errors import ControlParameterError, LanguageError
+from repro.lang.expr import Const, Expr, P, Param, as_expr
+
+
+class TestAtoms:
+    def test_const(self):
+        assert Const(5).evaluate({}) == 5
+        assert Const(5).referenced_params() == frozenset()
+
+    def test_param(self):
+        assert Param("x").evaluate({"x": 3}) == 3
+        assert Param("x").referenced_params() == {"x"}
+
+    def test_unbound_param(self):
+        with pytest.raises(ControlParameterError):
+            Param("x").evaluate({})
+
+    def test_invalid_param_name(self):
+        with pytest.raises(ControlParameterError):
+            Param("bad name")
+
+    def test_p_alias(self):
+        assert P is Param
+
+
+class TestOperators:
+    env = {"x": 10, "y": 3}
+
+    def test_arithmetic(self):
+        assert (P("x") + 5).evaluate(self.env) == 15
+        assert (P("x") - P("y")).evaluate(self.env) == 7
+        assert (P("x") * 2).evaluate(self.env) == 20
+        assert (P("x") / 4).evaluate(self.env) == 2.5
+        assert (P("x") // 3).evaluate(self.env) == 3
+        assert (P("x") % 3).evaluate(self.env) == 1
+        assert (-P("y")).evaluate(self.env) == -3
+
+    def test_reflected(self):
+        assert (5 + P("y")).evaluate(self.env) == 8
+        assert (20 - P("x")).evaluate(self.env) == 10
+        assert (2 * P("y")).evaluate(self.env) == 6
+        assert (30 / P("y")).evaluate(self.env) == 10
+
+    def test_comparisons(self):
+        assert (P("x") == 10).evaluate(self.env) is True
+        assert (P("x") != 10).evaluate(self.env) is False
+        assert (P("y") < 4).evaluate(self.env) is True
+        assert (P("y") <= 3).evaluate(self.env) is True
+        assert (P("y") > 4).evaluate(self.env) is False
+        assert (P("x") >= 10).evaluate(self.env) is True
+
+    def test_boolean(self):
+        e = (P("x") == 10) & (P("y") == 3)
+        assert e.evaluate(self.env) is True
+        e = (P("x") == 0) | (P("y") == 3)
+        assert e.evaluate(self.env) is True
+        assert (~(P("x") == 10)).evaluate(self.env) is False
+
+    def test_referenced_params_propagate(self):
+        e = (P("x") + P("y")) * 2 == 26
+        assert e.referenced_params() == {"x", "y"}
+
+    def test_no_truth_value_at_build_time(self):
+        with pytest.raises(LanguageError):
+            bool(P("x") == 1)
+
+    def test_hashable(self):
+        {P("x"): 1}  # __eq__ overload must not break dict keys
+
+    def test_repr(self):
+        assert repr(P("x") + 1) == "(x + 1)"
+
+
+class TestAsExpr:
+    def test_passthrough(self):
+        e = P("x")
+        assert as_expr(e) is e
+
+    def test_literal_wrapped(self):
+        assert isinstance(as_expr(42), Const)
+
+    def test_callable_rejected(self):
+        with pytest.raises(LanguageError):
+            as_expr(lambda: 1)

@@ -1,0 +1,46 @@
+"""Unit tests for control-parameter declarations."""
+
+import pytest
+
+from repro.errors import ControlParameterError
+from repro.lang.params import ParameterSet
+
+
+class TestDeclare:
+    def test_kwargs_construction(self):
+        ps = ParameterSet(a=None, b=4)
+        assert "a" in ps and "b" in ps
+        assert ps.names == ("a", "b")
+        assert len(ps) == 2
+
+    def test_redeclaration_rejected(self):
+        ps = ParameterSet(a=None)
+        with pytest.raises(ControlParameterError):
+            ps.declare("a")
+
+    def test_invalid_identifier(self):
+        with pytest.raises(ControlParameterError):
+            ParameterSet().declare("not-valid")
+        with pytest.raises(ControlParameterError):
+            ParameterSet().declare("")
+
+    def test_iteration(self):
+        assert list(ParameterSet(x=None, y=None)) == ["x", "y"]
+
+
+class TestEnvironment:
+    def test_initial_env_skips_uninitialized(self):
+        ps = ParameterSet(a=None, b=7)
+        assert ps.initial_env() == {"b": 7}
+
+    def test_require(self):
+        ps = ParameterSet(a=None)
+        ps.require("a")
+        with pytest.raises(ControlParameterError):
+            ps.require("z")
+
+    def test_validate_assignment(self):
+        ps = ParameterSet(a=None)
+        ps.validate_assignment({"a": 1})
+        with pytest.raises(ControlParameterError):
+            ps.validate_assignment({"a": 1, "zz": 2})

@@ -1,0 +1,177 @@
+"""Property-based fuzzing of the preprocessor over random programs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import InvalidJobError, ProgramStructureError
+from repro.lang.constructs import (
+    LoopConstruct,
+    SelectBranch,
+    SelectConstruct,
+    TaskConfig,
+    TaskConstruct,
+)
+from repro.lang.expr import P
+from repro.lang.params import ParameterSet
+from repro.lang.preprocess import enumerate_paths, enumerate_paths_detailed
+from repro.lang.program import TunableProgram
+
+# Small pool of parameter names/values the generator draws from.
+PARAMS = ("p0", "p1", "p2")
+VALUES = (1, 2)
+
+
+@st.composite
+def programs(draw):
+    """Random small tunable programs over a fixed parameter pool."""
+    counter = [0]
+
+    def fresh_name() -> str:
+        counter[0] += 1
+        return f"t{counter[0]}"
+
+    def gen_task() -> TaskConstruct:
+        n_params = draw(st.integers(0, 2))
+        plist = tuple(draw(st.permutations(PARAMS))[:n_params])
+        n_cfgs = draw(st.integers(1, 2))
+        configs = []
+        seen_values = set()
+        for _ in range(n_cfgs):
+            values = tuple(draw(st.sampled_from(VALUES)) for _ in plist)
+            if values in seen_values:
+                continue
+            seen_values.add(values)
+            configs.append(
+                TaskConfig(
+                    values,
+                    ProcessorTimeRequest(draw(st.integers(1, 4)), 1.0),
+                    quality=draw(st.sampled_from([0.5, 1.0])),
+                )
+            )
+        return TaskConstruct(
+            fresh_name(),
+            deadline=float(draw(st.integers(5, 50))),
+            parameter_list=plist,
+            configs=tuple(configs),
+        )
+
+    def gen_construct(depth: int):
+        kind = draw(
+            st.sampled_from(
+                ["task", "task"] + (["select", "loop"] if depth > 0 else [])
+            )
+        )
+        if kind == "task":
+            return gen_task()
+        if kind == "loop":
+            return LoopConstruct(
+                count=draw(st.integers(1, 2)),
+                body=tuple(
+                    gen_construct(depth - 1) for _ in range(draw(st.integers(1, 2)))
+                ),
+                name=fresh_name(),
+            )
+        branches = []
+        for _ in range(draw(st.integers(1, 2))):
+            guard_param = draw(st.sampled_from(PARAMS))
+            when = draw(
+                st.sampled_from(
+                    [True, P(guard_param) == 1, P(guard_param) == 2]
+                )
+            )
+            binds = {}
+            if draw(st.booleans()):
+                binds[draw(st.sampled_from(PARAMS))] = draw(st.sampled_from(VALUES))
+            branches.append(
+                SelectBranch(
+                    when=when,
+                    body=tuple(
+                        gen_construct(depth - 1)
+                        for _ in range(draw(st.integers(1, 2)))
+                    ),
+                    finally_binds=binds,
+                )
+            )
+        return SelectConstruct(tuple(branches), name=fresh_name())
+
+    body = tuple(gen_construct(1) for _ in range(draw(st.integers(1, 3))))
+    # Defaults so guard expressions always evaluate (guards may read params
+    # never bound by any task configuration).
+    params = ParameterSet(
+        **{name: draw(st.sampled_from(VALUES)) for name in PARAMS}
+    )
+    return TunableProgram(f"fuzz{counter[0]}", params, body)
+
+
+@settings(max_examples=120, deadline=None)
+@given(programs())
+def test_enumeration_invariants(program):
+    try:
+        paths = enumerate_paths_detailed(program, max_paths=512)
+    except InvalidJobError:
+        return  # every path died at a select or contributed no tasks: legal
+    except ProgramStructureError:
+        return  # path explosion guard: legal
+    assert paths
+    for info in paths:
+        chain = info.chain
+        # Construct alignment holds.
+        assert len(info.constructs) == len(chain)
+        for construct, task in zip(info.constructs, chain.tasks):
+            assert construct.name == task.name
+        # Every bound parameter is declared (loop vars are unbound on exit).
+        for name in chain.params or {}:
+            assert name in program.parameters
+        # Every materialized task corresponds to one of its construct's
+        # declared configurations.  (Checking parameter-value consistency
+        # against the *final* environment would be too strong: a later
+        # `finally` may legitimately overwrite a parameter after this
+        # task's configuration unified — the Fig. 3 junction program's own
+        # pattern.)
+        for construct, task in zip(info.constructs, chain.tasks):
+            assert any(
+                cfg.request == task.request and cfg.quality == task.quality
+                for cfg in construct.configs
+            ), f"task {task.name} does not match any declared configuration"
+
+        # When no finally/overwrite exists anywhere, full value consistency
+        # against the final environment must hold.
+        def has_finally(constructs):
+            for c in constructs:
+                if isinstance(c, SelectConstruct):
+                    if any(br.finally_binds for br in c.branches):
+                        return True
+                    if any(has_finally(br.body) for br in c.branches):
+                        return True
+                elif isinstance(c, LoopConstruct):
+                    if has_finally(c.body):
+                        return True
+            return False
+
+        if not has_finally(program.body):
+            env = dict(chain.params or {})
+            for construct, task in zip(info.constructs, chain.tasks):
+                assert any(
+                    cfg.request == task.request
+                    and all(
+                        env.get(p) == v
+                        for p, v in zip(construct.parameter_list, cfg.values)
+                    )
+                    for cfg in construct.configs
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_enumeration_deterministic(program):
+    def snapshot():
+        try:
+            return [
+                (c.label, tuple(t.name for t in c), tuple(sorted((c.params or {}).items())))
+                for c in enumerate_paths(program, max_paths=512)
+            ]
+        except (InvalidJobError, ProgramStructureError) as exc:
+            return type(exc).__name__
+
+    assert snapshot() == snapshot()

@@ -1,0 +1,112 @@
+"""Unit tests for program validation."""
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ControlParameterError, ProgramStructureError
+from repro.lang.constructs import (
+    LoopConstruct,
+    SelectBranch,
+    SelectConstruct,
+    TaskConfig,
+    TaskConstruct,
+)
+from repro.lang.expr import P
+from repro.lang.params import ParameterSet
+from repro.lang.program import TunableProgram
+
+
+def cfg(values=(), procs=1, dur=1.0):
+    return TaskConfig(tuple(values), ProcessorTimeRequest(procs, dur))
+
+
+def task(name, deadline=5.0, params=(), configs=None):
+    return TaskConstruct(name, deadline, tuple(params), configs or (cfg(),))
+
+
+class TestValidation:
+    def test_valid_program(self):
+        prog = TunableProgram("p", ParameterSet(g=None),
+                              (task("a", params=("g",), configs=(cfg((1,)),)),))
+        assert prog.name == "p"
+
+    def test_empty_body(self):
+        with pytest.raises(ProgramStructureError):
+            TunableProgram("p", ParameterSet(), ())
+
+    def test_undeclared_parameter_in_task(self):
+        with pytest.raises(ControlParameterError):
+            TunableProgram(
+                "p", ParameterSet(),
+                (task("a", params=("ghost",), configs=(cfg((1,)),)),),
+            )
+
+    def test_duplicate_task_names(self):
+        with pytest.raises(ProgramStructureError):
+            TunableProgram("p", ParameterSet(), (task("a"), task("a")))
+
+    def test_duplicate_across_select_branches(self):
+        sel = SelectConstruct(
+            (
+                SelectBranch(when=True, body=(task("x"),)),
+                SelectBranch(when=True, body=(task("x"),)),
+            )
+        )
+        with pytest.raises(ProgramStructureError):
+            TunableProgram("p", ParameterSet(), (sel,))
+
+    def test_when_expr_scope(self):
+        sel = SelectConstruct(
+            (SelectBranch(when=P("ghost") == 1, body=(task("x"),)),)
+        )
+        with pytest.raises(ControlParameterError):
+            TunableProgram("p", ParameterSet(), (sel,))
+
+    def test_finally_scope(self):
+        sel = SelectConstruct(
+            (SelectBranch(when=True, body=(task("x"),), finally_binds={"ghost": 1}),)
+        )
+        with pytest.raises(ControlParameterError):
+            TunableProgram("p", ParameterSet(), (sel,))
+
+    def test_loop_var_extends_scope(self):
+        loop = LoopConstruct(
+            count=2, var="k",
+            body=(task("x", deadline=P("k") * 5.0 + 5.0),),
+        )
+        TunableProgram("p", ParameterSet(), (loop,))
+
+    def test_loop_var_shadowing_rejected(self):
+        loop = LoopConstruct(count=2, var="g", body=(task("x"),))
+        with pytest.raises(ControlParameterError):
+            TunableProgram("p", ParameterSet(g=None), (loop,))
+
+    def test_loop_var_not_visible_outside(self):
+        loop = LoopConstruct(count=2, var="k", body=(task("x"),))
+        after = task("y", deadline=P("k") * 2.0)
+        with pytest.raises(ControlParameterError):
+            TunableProgram("p", ParameterSet(), (loop, after))
+
+    def test_nonpositive_constant_deadline(self):
+        with pytest.raises(ProgramStructureError):
+            TunableProgram("p", ParameterSet(), (task("a", deadline=0.0),))
+
+    def test_loop_count_scope(self):
+        loop = LoopConstruct(count=P("n"), body=(task("x"),))
+        with pytest.raises(ControlParameterError):
+            TunableProgram("p", ParameterSet(), (loop,))
+        TunableProgram("p", ParameterSet(n=3), (loop,))
+
+
+class TestLookup:
+    def test_tasks_iterates_nested(self):
+        sel = SelectConstruct((SelectBranch(when=True, body=(task("b"),)),))
+        loop = LoopConstruct(count=1, body=(task("c"),))
+        prog = TunableProgram("p", ParameterSet(), (task("a"), sel, loop))
+        assert [t.name for t in prog.tasks()] == ["a", "b", "c"]
+
+    def test_task_by_name(self):
+        prog = TunableProgram("p", ParameterSet(), (task("a"),))
+        assert prog.task_by_name("a").name == "a"
+        with pytest.raises(ProgramStructureError):
+            prog.task_by_name("zz")

@@ -1,0 +1,106 @@
+"""Unit tests for TaskChain."""
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import InvalidChainError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+
+
+def task(name, procs, dur, deadline):
+    return TaskSpec(name, ProcessorTimeRequest(procs, dur), deadline=deadline)
+
+
+@pytest.fixture
+def chain():
+    return TaskChain(
+        (
+            task("a", 4, 10.0, 20.0),
+            task("b", 2, 20.0, 60.0),
+        ),
+        label="demo",
+    )
+
+
+class TestValidation:
+    def test_empty_chain(self):
+        with pytest.raises(InvalidChainError):
+            TaskChain(())
+
+    def test_non_task_element(self):
+        with pytest.raises(InvalidChainError):
+            TaskChain(("nope",))  # type: ignore[arg-type]
+
+    def test_params_copied(self):
+        src = {"k": 1}
+        c = TaskChain((task("a", 1, 1.0, 5.0),), params=src)
+        src["k"] = 2
+        assert c.params["k"] == 1
+
+
+class TestDerived:
+    def test_len_iter_getitem(self, chain):
+        assert len(chain) == 2
+        assert [t.name for t in chain] == ["a", "b"]
+        assert chain[1].name == "b"
+
+    def test_total_area(self, chain):
+        assert chain.total_area == 4 * 10 + 2 * 20
+
+    def test_total_duration(self, chain):
+        assert chain.total_duration == 30.0
+
+    def test_max_width(self, chain):
+        assert chain.max_width == 4
+
+    def test_final_deadline(self, chain):
+        assert chain.final_deadline == 60.0
+
+    def test_prefix_areas(self, chain):
+        assert chain.prefix_areas() == (40.0, 80.0)
+
+    def test_describe(self, chain):
+        assert chain.describe().startswith("demo:")
+
+
+class TestEffectiveDeadlines:
+    def test_already_tight(self, chain):
+        # d_a = min(20, 60 - 20) = 20
+        assert chain.effective_deadlines() == (20.0, 60.0)
+
+    def test_successor_tightens(self):
+        c = TaskChain((task("a", 1, 5.0, 100.0), task("b", 1, 50.0, 60.0)))
+        assert c.effective_deadlines() == (10.0, 60.0)
+
+    def test_three_tasks_cascade(self):
+        c = TaskChain(
+            (
+                task("a", 1, 1.0, 100.0),
+                task("b", 1, 10.0, 100.0),
+                task("c", 1, 10.0, 30.0),
+            )
+        )
+        assert c.effective_deadlines() == (10.0, 20.0, 30.0)
+
+
+class TestTrivialInfeasibility:
+    def test_too_wide(self, chain):
+        assert chain.is_trivially_infeasible(capacity=2)
+        assert not chain.is_trivially_infeasible(capacity=4)
+
+    def test_zero_gap_deadline_miss(self):
+        c = TaskChain((task("a", 1, 10.0, 5.0),))
+        assert c.is_trivially_infeasible(capacity=8)
+
+    def test_cumulative_deadline_miss(self):
+        c = TaskChain((task("a", 1, 10.0, 10.0), task("b", 1, 10.0, 15.0)))
+        assert c.is_trivially_infeasible(capacity=8)
+
+    def test_feasible(self, chain):
+        assert not chain.is_trivially_infeasible(capacity=8)
+
+    def test_of_constructor(self):
+        c = TaskChain.of([task("a", 1, 1.0, 5.0)], label="x")
+        assert c.label == "x"
+        assert len(c) == 1

@@ -1,0 +1,144 @@
+"""Unit tests for OR task graphs."""
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import InvalidJobError, ProgramStructureError
+from repro.model.orgraph import Alternative, ORGraph, Stage
+from repro.model.task import TaskSpec
+
+
+def task(name, procs=1, dur=1.0, deadline=10.0):
+    return TaskSpec(name, ProcessorTimeRequest(procs, dur), deadline=deadline)
+
+
+def alt(*tasks, guard=None, binds=None, label=""):
+    return Alternative(
+        tasks=tuple(tasks), guard=guard or {}, binds=binds or {}, label=label
+    )
+
+
+class TestConstruction:
+    def test_empty_stage(self):
+        with pytest.raises(ProgramStructureError):
+            Stage(())
+
+    def test_empty_graph(self):
+        with pytest.raises(ProgramStructureError):
+            ORGraph(())
+
+    def test_stage_single(self):
+        s = Stage.single(task("a"))
+        assert len(s.alternatives) == 1
+        assert s.name == "a"
+
+
+class TestEnumeration:
+    def test_linear_graph(self):
+        g = ORGraph((Stage.single(task("a")), Stage.single(task("b"))))
+        chains = g.enumerate_chains()
+        assert len(chains) == 1
+        assert [t.name for t in chains[0]] == ["a", "b"]
+
+    def test_cartesian_product(self):
+        g = ORGraph(
+            (
+                Stage((alt(task("a1"), label="a1"), alt(task("a2"), label="a2"))),
+                Stage((alt(task("b1"), label="b1"), alt(task("b2"), label="b2"))),
+            )
+        )
+        chains = g.enumerate_chains()
+        assert len(chains) == 4
+        labels = {c.label for c in chains}
+        assert labels == {"a1/b1", "a1/b2", "a2/b1", "a2/b2"}
+
+    def test_binds_prune_downstream(self):
+        g = ORGraph(
+            (
+                Stage(
+                    (
+                        alt(task("fine"), binds={"mode": "fine"}, label="fine"),
+                        alt(task("coarse"), binds={"mode": "coarse"}, label="coarse"),
+                    )
+                ),
+                Stage(
+                    (
+                        alt(task("f2"), binds={"mode": "fine"}, label="f2"),
+                        alt(task("c2"), binds={"mode": "coarse"}, label="c2"),
+                    )
+                ),
+            )
+        )
+        chains = g.enumerate_chains()
+        assert len(chains) == 2  # mismatched mode pairs pruned
+        assert {c.label for c in chains} == {"fine/f2", "coarse/c2"}
+
+    def test_guard_filters(self):
+        g = ORGraph(
+            (
+                Stage((alt(task("a"), binds={"x": 1}),)),
+                Stage(
+                    (
+                        alt(task("yes"), guard={"x": 1}, label="yes"),
+                        alt(task("no"), guard={"x": 2}, label="no"),
+                    )
+                ),
+            )
+        )
+        chains = g.enumerate_chains()
+        assert len(chains) == 1
+        assert chains[0].tasks[1].name == "yes"
+
+    def test_guard_on_unbound_param_raises(self):
+        g = ORGraph((Stage((alt(task("a"), guard={"never_bound": 1}),)),))
+        with pytest.raises(ProgramStructureError, match="unbound"):
+            g.enumerate_chains()
+
+    def test_initial_env_binds_guards(self):
+        g = ORGraph((Stage((alt(task("a"), guard={"x": 1}),)),))
+        chains = g.enumerate_chains(initial_env={"x": 1})
+        assert len(chains) == 1
+        with pytest.raises(InvalidJobError):
+            g.enumerate_chains(initial_env={"x": 2})
+
+    def test_chain_params_capture_env(self):
+        g = ORGraph((Stage((alt(task("a"), binds={"x": 7}),)),))
+        [c] = g.enumerate_chains()
+        assert c.params == {"x": 7}
+
+    def test_all_paths_pruned_raises(self):
+        g = ORGraph(
+            (
+                Stage((alt(task("a"), binds={"x": 1}),)),
+                Stage((alt(task("b"), guard={"x": 2}),)),
+            )
+        )
+        with pytest.raises(InvalidJobError):
+            g.enumerate_chains()
+
+    def test_empty_path_raises(self):
+        g = ORGraph((Stage((alt(),)),))
+        with pytest.raises(InvalidJobError):
+            g.enumerate_chains()
+
+    def test_max_paths_guard(self):
+        stage = Stage(tuple(alt(task(f"t{i}"), label=str(i)) for i in range(4)))
+        g = ORGraph((stage, stage, stage))
+        with pytest.raises(ProgramStructureError, match="max_paths"):
+            g.enumerate_chains(max_paths=10)
+
+    def test_path_count_upper_bound(self):
+        stage2 = Stage((alt(task("a")), alt(task("b"))))
+        g = ORGraph((stage2, stage2, stage2))
+        assert g.path_count_upper_bound() == 8
+
+    def test_from_chains(self):
+        from repro.model.chain import TaskChain
+
+        chains = [
+            TaskChain((task("a"),), label="A"),
+            TaskChain((task("b"),), label="B"),
+        ]
+        g = ORGraph.from_chains(chains)
+        out = g.enumerate_chains()
+        assert {c.label for c in out} == {"A", "B"}

@@ -1,0 +1,57 @@
+"""Unit tests for quality composition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ConfigurationError
+from repro.model.chain import TaskChain
+from repro.model.quality import (
+    QualityComposition,
+    chain_quality,
+    compose_min,
+    compose_product,
+    compose_sum,
+)
+from repro.model.task import TaskSpec
+
+
+def chain_with_qualities(*qs):
+    return TaskChain(
+        tuple(
+            TaskSpec(f"t{i}", ProcessorTimeRequest(1, 1.0), deadline=10.0, quality=q)
+            for i, q in enumerate(qs)
+        )
+    )
+
+
+class TestCompositions:
+    def test_product(self):
+        assert compose_product([0.5, 0.8]) == pytest.approx(0.4)
+
+    def test_min(self):
+        assert compose_min([0.5, 0.8, 0.9]) == 0.5
+
+    def test_mean(self):
+        assert compose_sum([0.5, 0.7]) == pytest.approx(0.6)
+
+    def test_empty_rejected(self):
+        for fn in (compose_product, compose_min, compose_sum):
+            with pytest.raises(ConfigurationError):
+                fn([])
+
+    def test_chain_quality_dispatch(self):
+        c = chain_with_qualities(0.5, 0.8)
+        assert chain_quality(c) == pytest.approx(0.4)
+        assert chain_quality(c, QualityComposition.MIN) == 0.5
+        assert chain_quality(c, QualityComposition.MEAN) == pytest.approx(0.65)
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6))
+    def test_product_bounded_by_min(self, qs):
+        assert compose_product(qs) <= compose_min(qs) + 1e-12
+
+    @given(st.lists(st.floats(0.0, 1.0), min_size=1, max_size=6))
+    def test_all_compositions_in_unit_interval(self, qs):
+        for fn in (compose_product, compose_min, compose_sum):
+            assert 0.0 <= fn(qs) <= 1.0 + 1e-12

@@ -1,0 +1,77 @@
+"""Unit tests for the QoS agent."""
+
+import pytest
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import NegotiationError
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+from repro.qos.agent import QoSAgent
+
+
+def chains():
+    return [
+        TaskChain(
+            (TaskSpec("a", ProcessorTimeRequest(4, 2.0), deadline=50.0, quality=0.7),),
+            label="fast",
+            params={"mode": "fast"},
+        ),
+        TaskChain(
+            (TaskSpec("a", ProcessorTimeRequest(1, 8.0), deadline=50.0, quality=1.0),),
+            label="slow",
+            params={"mode": "slow"},
+        ),
+    ]
+
+
+class TestAgent:
+    def test_requires_paths(self):
+        with pytest.raises(NegotiationError):
+            QoSAgent("empty", [])
+
+    def test_tunable_flag(self):
+        assert QoSAgent("x", chains()).tunable
+        assert not QoSAgent("y", chains()[:1]).tunable
+
+    def test_path_qualities(self):
+        assert QoSAgent("x", chains()).path_qualities() == [0.7, 1.0]
+
+    def test_negotiate_success_configures(self):
+        agent = QoSAgent("x", chains())
+        seen = []
+        agent.on_configure(lambda params: seen.append(dict(params)))
+        contract = agent.negotiate(QoSArbitrator(8), release=0.0)
+        assert contract is not None
+        assert agent.contract is contract
+        assert seen == [{"mode": "fast"}]
+        assert agent.granted_params()["mode"] == "fast"
+
+    def test_negotiate_rejection(self):
+        arb = QoSArbitrator(4)
+        arb.schedule.profile.reserve(0.0, 49.9, 4)
+        agent = QoSAgent("x", chains())
+        assert agent.negotiate(arb, release=0.0) is None
+        assert agent.contract is None
+        with pytest.raises(NegotiationError):
+            agent.granted_params()
+
+    def test_build_request_carries_release(self):
+        request = QoSAgent("x", chains()).build_request(7.5)
+        assert request.job.release == 7.5
+        assert request.job.name == "x"
+
+    def test_fresh_job_identity_per_request(self):
+        agent = QoSAgent("x", chains())
+        a = agent.build_request(0.0)
+        b = agent.build_request(0.0)
+        assert a.job.job_id != b.job.job_id
+
+    def test_repeated_negotiation(self):
+        """An agent can renegotiate (e.g. for a new period/frame)."""
+        agent = QoSAgent("x", chains())
+        arb = QoSArbitrator(8)
+        c1 = agent.negotiate(arb, release=0.0)
+        c2 = agent.negotiate(arb, release=10.0)
+        assert c1 is not None and c2 is not None
+        assert agent.contract is c2

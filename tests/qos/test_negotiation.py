@@ -1,0 +1,61 @@
+"""Unit tests for the negotiation protocol."""
+
+import pytest
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.resources import ProcessorTimeRequest
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.qos.negotiation import (
+    ReservationGrant,
+    ReservationReject,
+    ReservationRequest,
+    negotiate,
+)
+
+
+def job(release=0.0):
+    fast = TaskChain(
+        (TaskSpec("a", ProcessorTimeRequest(4, 2.0), deadline=50.0),),
+        label="fast",
+        params={"mode": "fast"},
+    )
+    slow = TaskChain(
+        (TaskSpec("a", ProcessorTimeRequest(1, 8.0), deadline=50.0),),
+        label="slow",
+        params={"mode": "slow"},
+    )
+    return Job.tunable_of([fast, slow], release=release)
+
+
+class TestNegotiate:
+    def test_grant(self):
+        arb = QoSArbitrator(4)
+        request = ReservationRequest(job())
+        reply = negotiate(arb, request)
+        assert isinstance(reply, ReservationGrant)
+        assert reply.request_id == request.request_id
+        assert reply.contract.params["mode"] == "fast"
+        assert reply.contract.finish == 2.0
+
+    def test_reject(self):
+        arb = QoSArbitrator(4)
+        arb.schedule.profile.reserve(0.0, 49.9, 4)
+        reply = negotiate(arb, ReservationRequest(job()))
+        assert isinstance(reply, ReservationReject)
+        assert reply.reason
+
+    def test_request_ids_unique(self):
+        a = ReservationRequest(job())
+        b = ReservationRequest(job())
+        assert a.request_id != b.request_id
+
+    def test_release_property(self):
+        assert ReservationRequest(job(release=5.0)).release == 5.0
+
+    def test_grant_commits_resources(self):
+        arb = QoSArbitrator(4)
+        negotiate(arb, ReservationRequest(job()))
+        assert arb.schedule.committed_jobs == 1
+        assert arb.schedule.profile.available_at(1.0) == 0

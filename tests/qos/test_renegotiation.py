@@ -1,0 +1,117 @@
+"""Unit tests for renegotiation across capacity changes."""
+
+import pytest
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.errors import ConfigurationError, NegotiationError
+from repro.qos.renegotiation import CapacityChange, renegotiate
+from repro.workloads.synthetic import SyntheticParams
+
+
+@pytest.fixture
+def loaded():
+    """An arbitrator with a batch of admitted tunable jobs, plus the jobs."""
+    params = SyntheticParams(x=8, t=10.0, alpha=0.5, laxity=0.6)
+    arb = QoSArbitrator(16)
+    jobs = {}
+    for i in range(10):
+        job = params.tunable_job(release=6.0 * i)
+        jobs[job.job_id] = job
+        arb.submit(job)
+    return arb, jobs
+
+
+class TestCapacityChange:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CapacityChange(time=1.0, new_capacity=0)
+        with pytest.raises(ConfigurationError):
+            CapacityChange(time=float("inf"), new_capacity=4)
+
+
+class TestRenegotiate:
+    def test_partition_is_complete(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+        total = (
+            len(result.finished)
+            + len(result.carried)
+            + len(result.reallocated)
+            + len(result.dropped)
+        )
+        assert total == arb.admitted
+
+    def test_finished_untouched(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+        for cp in result.finished:
+            assert cp.finish <= 30.0
+
+    def test_carried_fit_new_capacity(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+        for cp in result.carried:
+            assert cp.start < 30.0 < cp.finish
+            for pl in cp.placements:
+                if pl.end > 30.0:
+                    assert pl.processors <= 8
+
+    def test_reallocated_valid_on_new_schedule(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+        result.schedule.profile.check_invariants()
+        for _old, new in result.reallocated:
+            new.validate()
+            assert new.start >= 30.0
+
+    def test_no_capacity_change_drops_nothing(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 16), jobs)
+        assert result.dropped == ()
+
+    def test_severe_drop_loses_jobs(self, loaded):
+        arb, jobs = loaded
+        # The tall task needs 8 processors; a machine of 4 kills every
+        # not-yet-finished chain (rigid model).
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 4), jobs)
+        assert len(result.dropped) > 0
+        assert result.reallocated == ()
+
+    def test_missing_job_raises(self, loaded):
+        arb, jobs = loaded
+        some_future_id = None
+        for cp in arb.schedule.placements:
+            if cp.start >= 30.0:
+                some_future_id = cp.job_id
+                break
+        assert some_future_id is not None
+        del jobs[some_future_id]
+        with pytest.raises(NegotiationError):
+            renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+
+    def test_capacity_increase_drops_nothing(self, loaded):
+        """Renegotiating onto a *larger* machine keeps every job."""
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 32), jobs)
+        assert result.dropped == ()
+        result.schedule.profile.check_invariants()
+
+    def test_capacity_increase_never_worsens_finish(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 32), jobs)
+        for old, new in result.reallocated:
+            # A bigger machine from the change time onward can only delay a
+            # job relative to its old slot if the old slot started before
+            # the change; jobs starting after it must not get worse.
+            if old.start >= 30.0:
+                assert new.finish <= old.finish + 1e-9
+
+    def test_path_switches_counted(self, loaded):
+        arb, jobs = loaded
+        result = renegotiate(arb.schedule, CapacityChange(30.0, 8), jobs)
+        switches = sum(
+            1
+            for old, new in result.reallocated
+            if old.chain_index != new.chain_index
+        )
+        assert result.path_switches == switches

@@ -1,0 +1,134 @@
+"""Unit tests for mid-job contract revision."""
+
+import pytest
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import NegotiationError
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.qos.contract import ResourceContract
+from repro.qos.revision import revise_contract
+
+
+def task(name, procs, dur, deadline):
+    return TaskSpec(name, ProcessorTimeRequest(procs, dur), deadline=deadline)
+
+
+def admitted_contract(arbitrator, deadline2=60.0):
+    chain = TaskChain(
+        (task("a", 2, 5.0, 30.0), task("b", 2, 5.0, deadline2)), label="orig"
+    )
+    decision = arbitrator.submit(Job.rigid(chain, release=0.0))
+    assert decision.admitted
+    return ResourceContract(
+        job_id=decision.job_id, placement=decision.placement, params={}
+    )
+
+
+class TestReviseContract:
+    def test_grow_suffix(self):
+        """Task b turns out to need twice the time; revision fits it."""
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 2, 10.0, 60.0),),
+        )
+        assert result.accepted
+        assert result.area_delta == pytest.approx(10.0)  # 2x10 - 2x5
+        new = result.contract.placement
+        assert new.placements[0].start == 0.0          # started task untouched
+        assert new.placements[1].duration == 10.0
+        assert new.finish <= 60.0
+        arb.schedule.check_consistency()
+
+    def test_shrink_suffix_frees_resources(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 1, 2.0, 60.0),),
+        )
+        assert result.accepted
+        assert result.area_delta == pytest.approx(2.0 - 10.0)
+        # Freed capacity is visible to later arrivals.
+        assert arb.schedule.profile.available_at(8.0) >= 3
+
+    def test_suffix_may_add_tasks(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 2, 5.0, 60.0), task("c", 1, 3.0, 80.0)),
+        )
+        assert result.accepted
+        assert len(result.contract.placement.placements) == 3
+        arb.schedule.check_consistency()
+
+    def test_infeasible_proposal_keeps_original(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        # Block the machine so a longer b cannot fit by its deadline.
+        arb.schedule.profile.reserve(10.0, 58.0, 4)
+        before = arb.schedule.profile.copy()
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 2, 20.0, 60.0),),
+        )
+        assert not result.accepted
+        assert result.contract is contract
+        assert arb.schedule.profile == before  # transactional
+
+    def test_deadlines_stay_anchored_to_release(self):
+        """Revision at t=5 cannot push b past release+deadline."""
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb, deadline2=12.0)
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 2, 8.0, 12.0),),
+        )
+        assert not result.accepted  # 5 + 8 > 12
+
+    def test_nothing_unstarted_rejected(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        with pytest.raises(NegotiationError):
+            revise_contract(
+                arb.schedule, contract, now=100.0,
+                revised_suffix=(task("b", 1, 1.0, 200.0),),
+            )
+
+    def test_empty_suffix_rejected(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        with pytest.raises(NegotiationError):
+            revise_contract(arb.schedule, contract, now=5.0, revised_suffix=())
+
+    def test_foreign_contract_rejected(self):
+        arb_a = QoSArbitrator(4)
+        arb_b = QoSArbitrator(4)
+        contract = admitted_contract(arb_a)
+        admitted_contract(arb_b)  # occupy similar region on b
+        before = arb_b.schedule.profile.copy()
+        with pytest.raises(NegotiationError):
+            revise_contract(
+                arb_b.schedule, contract, now=5.0,
+                revised_suffix=(task("b", 2, 5.0, 60.0),),
+            )
+        # Rejection happens before any mutation of the foreign schedule.
+        assert arb_b.schedule.profile == before
+
+    def test_accounting_updates(self):
+        arb = QoSArbitrator(4)
+        contract = admitted_contract(arb)
+        area_before = arb.schedule.committed_area
+        result = revise_contract(
+            arb.schedule, contract, now=5.0,
+            revised_suffix=(task("b", 2, 10.0, 60.0),),
+        )
+        assert arb.schedule.committed_area == pytest.approx(
+            area_before + result.area_delta
+        )
+        assert arb.schedule.committed_jobs == 1

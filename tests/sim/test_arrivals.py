@@ -1,0 +1,111 @@
+"""Unit and property tests for arrival processes."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.sim.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    DeterministicArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
+from repro.sim.rng import RandomStreams
+
+
+class TestPoisson:
+    def test_monotone(self):
+        times = list(PoissonArrivals(10.0, RandomStreams(1)).times(500))
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_reproducible(self):
+        a = list(PoissonArrivals(10.0, RandomStreams(1)).times(50))
+        b = list(PoissonArrivals(10.0, RandomStreams(1)).times(50))
+        assert a == b
+
+    def test_mean_interval_approx(self):
+        times = list(PoissonArrivals(10.0, RandomStreams(3)).times(5000))
+        gaps = np.diff([0.0] + times)
+        assert np.mean(gaps) == pytest.approx(10.0, rel=0.1)
+
+    def test_start_offset(self):
+        times = list(PoissonArrivals(5.0, RandomStreams(1), start=100.0).times(3))
+        assert times[0] > 100.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(WorkloadError):
+            PoissonArrivals(0.0, RandomStreams(1))
+
+    def test_negative_count(self):
+        with pytest.raises(WorkloadError):
+            list(PoissonArrivals(1.0, RandomStreams(1)).times(-1))
+
+    def test_protocol(self):
+        assert isinstance(PoissonArrivals(1.0, RandomStreams(1)), ArrivalProcess)
+
+
+class TestDeterministic:
+    def test_even_spacing(self):
+        assert list(DeterministicArrivals(2.5).times(4)) == [2.5, 5.0, 7.5, 10.0]
+
+    def test_start(self):
+        assert list(DeterministicArrivals(1.0, start=10.0).times(2)) == [11.0, 12.0]
+
+    def test_invalid(self):
+        with pytest.raises(WorkloadError):
+            DeterministicArrivals(-1.0)
+
+
+class TestTrace:
+    def test_replay(self):
+        trace = TraceArrivals([1.0, 2.0, 5.0])
+        assert list(trace.times(2)) == [1.0, 2.0]
+
+    def test_exhaustion(self):
+        with pytest.raises(WorkloadError):
+            list(TraceArrivals([1.0]).times(2))
+
+    def test_disorder_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceArrivals([2.0, 1.0])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceArrivals([1.0, float("inf")])
+
+
+class TestBursty:
+    def test_monotone_and_reproducible(self):
+        a = list(
+            BurstyArrivals(2.0, 20.0, RandomStreams(5)).times(200)
+        )
+        b = list(
+            BurstyArrivals(2.0, 20.0, RandomStreams(5)).times(200)
+        )
+        assert a == b
+        assert all(x <= y for x, y in zip(a, a[1:]))
+
+    def test_mean_interval_property(self):
+        p = BurstyArrivals(2.0, 20.0, RandomStreams(5))
+        assert p.mean_interval == 11.0
+
+    def test_burstier_than_poisson(self):
+        """Coefficient of variation of gaps exceeds the Poisson CV of 1."""
+        bursty = list(BurstyArrivals(2.0, 30.0, RandomStreams(7)).times(4000))
+        gaps = np.diff([0.0] + bursty)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.1
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(0.0, 1.0, RandomStreams(1))
+        with pytest.raises(WorkloadError):
+            BurstyArrivals(1.0, 1.0, RandomStreams(1), mean_phase_len=0.5)
+
+
+@given(st.integers(0, 50))
+def test_poisson_yields_exactly_n(n):
+    assert len(list(PoissonArrivals(3.0, RandomStreams(0)).times(n))) == n

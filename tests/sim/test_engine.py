@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import SimulationEngine
+
+
+class TestScheduling:
+    def test_run_processes_in_order(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.on("tick", lambda e, ev: seen.append(ev.time))
+        eng.at(3.0, "tick")
+        eng.at(1.0, "tick")
+        eng.at(2.0, "tick")
+        assert eng.run() == 3
+        assert seen == [1.0, 2.0, 3.0]
+        assert eng.now == 3.0
+        assert eng.processed == 3
+
+    def test_after_relative(self):
+        eng = SimulationEngine(start_time=10.0)
+        eng.on("x", lambda e, ev: None)
+        eng.after(5.0, "x")
+        eng.run()
+        assert eng.now == 15.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationEngine().after(-1.0, "x")
+
+    def test_past_scheduling_rejected(self):
+        eng = SimulationEngine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            eng.at(5.0, "x")
+
+    def test_handlers_can_schedule(self):
+        eng = SimulationEngine()
+        seen = []
+
+        def handler(engine, ev):
+            seen.append(ev.time)
+            if ev.time < 3.0:
+                engine.after(1.0, "tick")
+
+        eng.on("tick", handler)
+        eng.at(1.0, "tick")
+        eng.run()
+        assert seen == [1.0, 2.0, 3.0]
+
+    def test_run_until(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.on("x", lambda e, ev: seen.append(ev.time))
+        for t in (1.0, 2.0, 3.0):
+            eng.at(t, "x")
+        eng.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert eng.pending == 1
+
+    def test_max_events(self):
+        eng = SimulationEngine()
+        eng.on("x", lambda e, ev: None)
+        for t in range(5):
+            eng.at(float(t), "x")
+        assert eng.run(max_events=2) == 2
+        assert eng.pending == 3
+
+    def test_cancel(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.on("x", lambda e, ev: seen.append(ev.kind))
+        ev = eng.at(1.0, "x")
+        eng.cancel(ev)
+        eng.run()
+        assert seen == []
+
+    def test_multiple_handlers_in_order(self):
+        eng = SimulationEngine()
+        order = []
+        eng.on("x", lambda e, ev: order.append("first"))
+        eng.on("x", lambda e, ev: order.append("second"))
+        eng.at(0.0, "x")
+        eng.run()
+        assert order == ["first", "second"]
+
+    def test_unknown_kind_is_noop(self):
+        eng = SimulationEngine()
+        eng.at(1.0, "nobody-listens")
+        assert eng.run() == 1
+
+    def test_not_reentrant(self):
+        eng = SimulationEngine()
+
+        def recurse(engine, ev):
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        eng.on("x", recurse)
+        eng.at(0.0, "x")
+        eng.run()

@@ -1,0 +1,85 @@
+"""Unit tests for the event queue."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, EventQueue
+
+
+class TestEvent:
+    def test_nan_time_rejected(self):
+        with pytest.raises(SimulationError):
+            Event(math.nan, "x")
+
+    def test_sort_key(self):
+        e = Event(1.0, "x", priority=2, seq=5)
+        assert e.sort_key == (1.0, 2, 5)
+
+
+class TestEventQueue:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(Event(3.0, "c"))
+        q.push(Event(1.0, "a"))
+        q.push(Event(2.0, "b"))
+        assert [q.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_priority_breaks_time_ties(self):
+        q = EventQueue()
+        q.push(Event(1.0, "low", priority=5))
+        q.push(Event(1.0, "high", priority=0))
+        assert q.pop().kind == "high"
+
+    def test_insertion_order_final_tiebreak(self):
+        q = EventQueue()
+        q.push(Event(1.0, "first"))
+        q.push(Event(1.0, "second"))
+        assert q.pop().kind == "first"
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(Event(1.0, "x"))
+        assert q and len(q) == 1
+        q.pop()
+        assert not q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() == math.inf
+        q.push(Event(4.0, "x"))
+        assert q.peek_time() == 4.0
+        assert len(q) == 1  # peek does not consume
+
+    def test_cancel(self):
+        q = EventQueue()
+        keep = q.push(Event(1.0, "keep"))
+        kill = q.push(Event(0.5, "kill"))
+        q.cancel(kill)
+        assert len(q) == 1
+        assert q.pop().kind == "keep"
+
+    def test_cancel_unpushed_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.cancel(Event(1.0, "x"))
+
+    def test_cancel_idempotent(self):
+        q = EventQueue()
+        ev = q.push(Event(1.0, "x"))
+        q.cancel(ev)
+        q.cancel(ev)
+        assert len(q) == 0
+
+    def test_peek_skips_cancelled(self):
+        q = EventQueue()
+        dead = q.push(Event(0.5, "dead"))
+        q.push(Event(1.0, "live"))
+        q.cancel(dead)
+        assert q.peek_time() == 1.0

@@ -1,0 +1,183 @@
+"""Unit tests for the best-effort EDF executor (extension)."""
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.errors import ConfigurationError, SimulationError
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.sim.executor import BestEffortMetrics, ChainSelector, EDFExecutor
+from repro.workloads.synthetic import SyntheticParams
+
+
+def job(procs=2, dur=5.0, deadline=20.0, release=0.0, tasks=1):
+    chain = TaskChain(
+        tuple(
+            TaskSpec(
+                f"t{i}",
+                ProcessorTimeRequest(procs, dur),
+                deadline=deadline * (i + 1),
+            )
+            for i in range(tasks)
+        )
+    )
+    return Job.rigid(chain, release=release)
+
+
+class TestBasics:
+    def test_single_job_completes(self):
+        m = EDFExecutor(4).run([job()])
+        assert m.offered == 1
+        assert m.on_time == 1
+        assert m.late == 0
+        assert m.busy_area == pytest.approx(10.0)
+        assert m.horizon == pytest.approx(5.0)
+
+    def test_chain_runs_sequentially(self):
+        m = EDFExecutor(4).run([job(tasks=3, deadline=100.0)])
+        assert m.on_time == 1
+        assert m.horizon == pytest.approx(15.0)
+
+    def test_parallel_jobs_share_machine(self):
+        jobs = [job(procs=2, dur=5.0, release=0.0) for _ in range(2)]
+        m = EDFExecutor(4).run(jobs)
+        assert m.on_time == 2
+        assert m.horizon == pytest.approx(5.0)  # both ran concurrently
+
+    def test_queueing_when_machine_full(self):
+        jobs = [job(procs=4, dur=5.0, deadline=50.0, release=0.0) for _ in range(3)]
+        m = EDFExecutor(4).run(jobs)
+        assert m.on_time == 3
+        assert m.horizon == pytest.approx(15.0)  # serialized
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EDFExecutor(0)
+
+    def test_release_order_enforced(self):
+        with pytest.raises(SimulationError):
+            EDFExecutor(4).run([job(release=5.0), job(release=0.0)])
+
+
+class TestDeadlines:
+    def test_late_job_dropped(self):
+        # Machine busy with job A; job B's deadline is too tight to wait.
+        a = job(procs=4, dur=10.0, deadline=10.0, release=0.0)
+        b = job(procs=4, dur=5.0, deadline=6.0, release=1.0)
+        m = EDFExecutor(4).run([a, b])
+        assert m.on_time == 1
+        assert m.late == 1
+
+    def test_edf_order_prefers_tighter_deadline(self):
+        # Two queued jobs; the later-arriving but tighter one runs first.
+        blocker = job(procs=4, dur=5.0, deadline=100.0, release=0.0)
+        loose = job(procs=4, dur=5.0, deadline=100.0, release=1.0)
+        tight = job(procs=4, dur=5.0, deadline=11.0, release=2.0)
+        m = EDFExecutor(4).run([blocker, loose, tight])
+        assert m.on_time == 3  # tight fits only if it preceded loose
+
+    def test_wasted_work_counted(self):
+        # A long-running blocker holds 2 of 4 processors.  The victim's
+        # first (narrow) task runs beside it, but its second task needs the
+        # whole machine before the blocker finishes: the chain is dropped
+        # *after* consuming task a's processor-time.
+        blocker = Job.rigid(
+            TaskChain(
+                (TaskSpec("x", ProcessorTimeRequest(2, 20.0), deadline=100.0),)
+            ),
+            release=0.0,
+        )
+        victim = Job.rigid(
+            TaskChain(
+                (
+                    TaskSpec("a", ProcessorTimeRequest(2, 5.0), deadline=5.0),
+                    TaskSpec("b", ProcessorTimeRequest(4, 5.0), deadline=12.0),
+                )
+            ),
+            release=0.1,
+        )
+        m = EDFExecutor(4).run([blocker, victim])
+        assert m.on_time == 1  # the blocker
+        assert m.late == 1
+        assert m.wasted_area == pytest.approx(10.0)  # task a's area
+        assert m.goodput_utilization < m.utilization
+
+    def test_task_wider_than_machine_dropped(self):
+        m = EDFExecutor(2).run([job(procs=4)])
+        assert m.late == 1
+
+
+class TestBackfill:
+    def make_jobs(self):
+        # Head of queue needs the full machine; a narrow job behind it
+        # could run in the 2 free processors.
+        wide_running = job(procs=2, dur=10.0, deadline=100.0, release=0.0)
+        wide_waiting = job(procs=4, dur=5.0, deadline=30.0, release=1.0)
+        narrow = job(procs=2, dur=5.0, deadline=100.0, release=2.0)
+        return [wide_running, wide_waiting, narrow]
+
+    def test_backfill_lets_narrow_run(self):
+        m = EDFExecutor(4, backfill=True).run(self.make_jobs())
+        assert m.on_time == 3
+        assert m.horizon == pytest.approx(15.0)
+
+    def test_strict_edf_blocks(self):
+        m = EDFExecutor(4, backfill=False).run(self.make_jobs())
+        assert m.on_time == 3
+        # narrow waits behind wide_waiting: 10 (wide_running) + 5 + 5
+        assert m.horizon == pytest.approx(20.0)
+
+
+class TestChainSelector:
+    def make_tunable(self, release=0.0):
+        fast = TaskChain(
+            (TaskSpec("a", ProcessorTimeRequest(4, 2.0), deadline=100.0),),
+            label="wide-fast",
+        )
+        narrow = TaskChain(
+            (TaskSpec("a", ProcessorTimeRequest(1, 6.0), deadline=100.0),),
+            label="narrow-slow",
+        )
+        return Job.tunable_of([fast, narrow], release=release)
+
+    def test_first(self):
+        ex = EDFExecutor(4, selector=ChainSelector.FIRST)
+        m = ex.run([self.make_tunable()])
+        assert m.horizon == pytest.approx(2.0)
+
+    def test_min_duration(self):
+        ex = EDFExecutor(4, selector=ChainSelector.MIN_DURATION)
+        m = ex.run([self.make_tunable()])
+        assert m.horizon == pytest.approx(2.0)
+
+    def test_min_width(self):
+        ex = EDFExecutor(4, selector=ChainSelector.MIN_WIDTH)
+        m = ex.run([self.make_tunable()])
+        assert m.horizon == pytest.approx(6.0)
+
+
+class TestAgainstArbitrator:
+    def test_overload_reservation_beats_best_effort(self):
+        """Under overload the admission-controlled arbitrator completes at
+        least as many jobs on time and wastes nothing."""
+        from repro.core.arbitrator import QoSArbitrator
+        from repro.sim.arrivals import PoissonArrivals
+        from repro.sim.rng import RandomStreams
+        from repro.sim.simulator import simulate_arrivals
+
+        params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+        arrivals = list(PoissonArrivals(15.0, RandomStreams(3)).times(300))
+
+        arb = QoSArbitrator(16, keep_placements=False)
+
+        class Replay:
+            def times(self, n):
+                return iter(arrivals[:n])
+
+        reservation = simulate_arrivals(
+            arb, lambda i, r: params.tunable_job(r), Replay(), 300
+        )
+        edf = EDFExecutor(16).run(params.tunable_job(t) for t in arrivals)
+        assert reservation.throughput >= edf.on_time
+        assert edf.wasted_area > 0

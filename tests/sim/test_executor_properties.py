@@ -1,0 +1,63 @@
+"""Property tests: conservation invariants of the best-effort executor."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.arrivals import PoissonArrivals
+from repro.sim.executor import ChainSelector, EDFExecutor
+from repro.sim.rng import RandomStreams
+from repro.workloads.synthetic import SyntheticParams
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 50),
+    interval=st.sampled_from([3.0, 8.0, 20.0]),
+    capacity=st.sampled_from([4, 8]),
+    backfill=st.booleans(),
+    selector=st.sampled_from(list(ChainSelector)),
+)
+def test_conservation_invariants(seed, interval, capacity, backfill, selector):
+    params = SyntheticParams(x=4, t=5.0, alpha=0.5, laxity=0.5)
+    n = 60
+    arrivals = PoissonArrivals(interval, RandomStreams(seed)).times(n)
+    executor = EDFExecutor(capacity, selector=selector, backfill=backfill)
+    metrics = executor.run(params.tunable_job(t) for t in arrivals)
+
+    # Every offered job is accounted for exactly once.
+    assert metrics.offered == n
+    assert metrics.on_time + metrics.late == n
+
+    # Work accounting: wasted work is a subset of busy work; utilization
+    # bounds hold; goodput never exceeds raw utilization.
+    assert 0.0 <= metrics.wasted_area <= metrics.busy_area + 1e-9
+    assert 0.0 <= metrics.utilization <= 1.0 + 1e-9
+    assert metrics.goodput_utilization <= metrics.utilization + 1e-12
+
+    # On-time jobs did their full chain's work; that work is not wasted:
+    # each consumed at least the lighter chain's area.
+    if metrics.on_time and metrics.horizon > 0:
+        lighter = min(c.total_area for c in params.tunable_job(0.0).chains)
+        assert (
+            metrics.busy_area - metrics.wasted_area
+            >= metrics.on_time * lighter - 1e-6
+        )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 20))
+def test_strict_edf_never_beats_backfill(seed):
+    """Backfilling can only help on-time counts for this workload family."""
+    params = SyntheticParams(x=4, t=5.0, alpha=0.5, laxity=0.5)
+    arrivals = list(PoissonArrivals(6.0, RandomStreams(seed)).times(80))
+
+    def run(backfill):
+        executor = EDFExecutor(8, backfill=backfill)
+        return executor.run(params.tunable_job(t) for t in arrivals)
+
+    with_bf = run(True)
+    without_bf = run(False)
+    # Not a theorem for adversarial inputs, but holds across this family;
+    # a failure here would flag a dispatch regression.
+    assert with_bf.on_time >= without_bf.on_time - 2

@@ -1,0 +1,73 @@
+"""Unit tests for metrics collection."""
+
+import math
+
+import pytest
+
+from repro.core.admission import AdmissionDecision
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.resources import ProcessorTimeRequest
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+from repro.sim.metrics import MetricsCollector, RunMetrics
+
+
+def decision(admitted=True, job_id=1, start=0.0, dur=5.0, release=0.0):
+    if not admitted:
+        return AdmissionDecision(job_id, False, None, reason="nope")
+    chain = TaskChain(
+        (TaskSpec("t", ProcessorTimeRequest(1, dur), deadline=100.0),)
+    )
+    cp = ChainPlacement(
+        job_id=job_id,
+        chain_index=0,
+        chain=chain,
+        placements=(Placement.rigid(chain[0], start),),
+        release=release,
+    )
+    return AdmissionDecision(job_id, True, cp)
+
+
+class TestCollector:
+    def test_counts(self):
+        mc = MetricsCollector()
+        mc.observe(decision(True))
+        mc.observe(decision(False))
+        mc.observe(decision(True))
+        m = mc.finalize(0.5, {0: 2}, 2.0, 10.0)
+        assert (m.offered, m.admitted, m.rejected) == (3, 2, 1)
+        assert m.throughput == 2
+        assert m.admit_rate == pytest.approx(2 / 3)
+
+    def test_response_stats(self):
+        mc = MetricsCollector()
+        mc.observe(decision(True, start=0.0, dur=5.0, release=0.0))   # resp 5
+        mc.observe(decision(True, start=5.0, dur=5.0, release=0.0))   # resp 10
+        m = mc.finalize(0.5, {}, 0.0, 10.0)
+        assert m.mean_response == pytest.approx(7.5)
+        assert m.p95_response <= 10.0
+
+    def test_slack(self):
+        mc = MetricsCollector()
+        mc.observe(decision(True, start=0.0, dur=5.0), final_deadline=20.0)
+        m = mc.finalize(0.5, {}, 0.0, 5.0)
+        assert m.mean_slack == pytest.approx(15.0)
+
+    def test_empty_run(self):
+        m = MetricsCollector().finalize(0.0, {}, 0.0, 0.0)
+        assert m.offered == 0
+        assert math.isnan(m.mean_response)
+        assert math.isnan(m.mean_slack)
+        assert m.admit_rate == 0.0
+
+    def test_as_dict_keys(self):
+        m = MetricsCollector().finalize(0.0, {}, 0.0, 0.0)
+        d = m.as_dict()
+        for key in ("offered", "throughput", "utilization", "mean_response"):
+            assert key in d
+
+    def test_chain_usage_copied(self):
+        usage = {0: 1}
+        m = MetricsCollector().finalize(0.0, usage, 0.0, 0.0)
+        usage[0] = 99
+        assert m.chain_usage[0] == 1

@@ -1,0 +1,93 @@
+"""Unit tests for the arrival-driven simulator."""
+
+import pytest
+
+from repro.core.arbitrator import QoSArbitrator
+from repro.errors import SimulationError
+from repro.sim.arrivals import DeterministicArrivals, TraceArrivals
+from repro.sim.simulator import ArrivalSimulator, simulate_arrivals
+from repro.workloads.synthetic import SyntheticParams
+
+
+@pytest.fixture
+def params():
+    return SyntheticParams(x=4, t=10.0, alpha=0.5, laxity=0.5)
+
+
+class TestRun:
+    def test_counts_add_up(self, params):
+        arb = QoSArbitrator(4)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(10.0),
+            20,
+        )
+        assert m.offered == 20
+        assert m.admitted + m.rejected == 20
+        assert m.admitted == arb.admitted
+
+    def test_underloaded_admits_all(self, params):
+        arb = QoSArbitrator(8)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(40.0),
+            10,
+        )
+        assert m.admitted == 10
+        assert m.admit_rate == 1.0
+
+    def test_overloaded_rejects_some(self, params):
+        arb = QoSArbitrator(4)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(1.0),
+            30,
+        )
+        assert m.rejected > 0
+        assert m.utilization > 0.5
+
+    def test_arrival_disorder_rejected(self, params):
+        arb = QoSArbitrator(4)
+        sim = ArrivalSimulator(arb, lambda i, r: params.tunable_job(r))
+        with pytest.raises(SimulationError):
+            sim.run([5.0, 3.0])
+
+    def test_factory_release_mismatch_rejected(self, params):
+        arb = QoSArbitrator(4)
+        sim = ArrivalSimulator(arb, lambda i, r: params.tunable_job(r + 1.0))
+        with pytest.raises(SimulationError):
+            sim.run([0.0])
+
+    def test_horizon_is_last_finish(self, params):
+        arb = QoSArbitrator(8)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            TraceArrivals([0.0]),
+            1,
+        )
+        assert m.horizon == arb.schedule.last_finish
+
+    def test_chain_usage_propagated(self, params):
+        arb = QoSArbitrator(8)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(50.0),
+            6,
+        )
+        assert sum(m.chain_usage.values()) == m.admitted
+
+    def test_verification_accepts_correct_scheduler(self, params):
+        """verify=True passes silently for the real scheduler."""
+        arb = QoSArbitrator(4)
+        simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(5.0),
+            50,
+            verify=True,
+        )

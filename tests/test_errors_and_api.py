@@ -1,0 +1,82 @@
+"""Tests for the exception hierarchy and the top-level public API."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_single_root(self):
+        leaves = [
+            errors.InvalidTaskError,
+            errors.InvalidChainError,
+            errors.InvalidJobError,
+            errors.InfeasibleRequestError,
+            errors.CapacityExceededError,
+            errors.ScheduleConsistencyError,
+            errors.NegotiationError,
+            errors.ConfigurationError,
+            errors.ControlParameterError,
+            errors.ProgramStructureError,
+            errors.ConcurrentWriteError,
+            errors.StepStateError,
+            errors.SimulationError,
+            errors.WorkloadError,
+        ]
+        for cls in leaves:
+            assert issubclass(cls, errors.ReproError)
+
+    def test_subsystem_bases(self):
+        assert issubclass(errors.InvalidTaskError, errors.ModelError)
+        assert issubclass(errors.CapacityExceededError, errors.SchedulingError)
+        assert issubclass(errors.ControlParameterError, errors.LanguageError)
+        assert issubclass(errors.ConcurrentWriteError, errors.CalypsoError)
+
+    def test_admission_rejected_payload(self):
+        exc = errors.AdmissionRejected(42, reason="overload")
+        assert exc.job_id == 42
+        assert "overload" in str(exc)
+
+    def test_all_exported_names_exist(self):
+        for name in errors.__all__:
+            assert hasattr(errors, name), name
+
+
+class TestTopLevelAPI:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet(self):
+        """The README quickstart must actually run."""
+        from repro import QoSArbitrator, SyntheticParams
+
+        params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+        arbitrator = QoSArbitrator(capacity=16)
+        decision = arbitrator.submit(params.tunable_job(release=0.0))
+        assert decision.admitted
+        assert decision.chain_index in (0, 1)
+
+    def test_docstrings_on_public_modules(self):
+        import importlib
+
+        for module_name in (
+            "repro.core.profile",
+            "repro.core.holes",
+            "repro.core.greedy",
+            "repro.core.malleable",
+            "repro.core.arbitrator",
+            "repro.model.job",
+            "repro.lang.preprocess",
+            "repro.qos.agent",
+            "repro.calypso.runtime",
+            "repro.sim.simulator",
+            "repro.sim.executor",
+            "repro.workloads.synthetic",
+        ):
+            module = importlib.import_module(module_name)
+            assert module.__doc__ and len(module.__doc__) > 80, module_name

@@ -1,0 +1,59 @@
+"""Unit tests for the paper presets and scale control."""
+
+import pytest
+
+from repro.workloads import presets
+
+
+class TestScale:
+    def test_quick_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert not presets.full_scale()
+        assert presets.n_jobs() == presets.N_JOBS_QUICK
+
+    def test_full_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert presets.full_scale()
+        assert presets.n_jobs() == presets.N_JOBS_PAPER
+
+    def test_false_values(self, monkeypatch):
+        for value in ("0", "false", "False", ""):
+            monkeypatch.setenv("REPRO_FULL_SCALE", value)
+            assert not presets.full_scale()
+
+    def test_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert presets.n_jobs(123) == 123
+
+
+class TestGrids:
+    def test_fig5a_range(self):
+        assert presets.FIG5A_INTERVALS[0] == 10.0
+        assert presets.FIG5A_INTERVALS[-1] == 85.0
+
+    def test_fig5b_range(self):
+        assert presets.FIG5B_LAXITIES[0] == pytest.approx(0.05)
+        assert presets.FIG5B_LAXITIES[-1] == pytest.approx(0.95)
+        assert all(0 < l < 1 for l in presets.FIG5B_LAXITIES)
+
+    def test_fig5c_range(self):
+        assert presets.FIG5C_PROCESSORS[0] == 16
+        assert presets.FIG5C_PROCESSORS[-1] == 64
+
+    def test_fig5d_alphas_integral_width(self):
+        for alpha in presets.FIG5D_ALPHAS:
+            width = presets.X * alpha
+            assert abs(width - round(width)) < 1e-9
+        assert 0.625 in presets.FIG5D_ALPHAS  # the paper's pivot
+
+    def test_default_params(self):
+        p = presets.default_params()
+        assert p.x == presets.X
+        assert p.t == presets.T
+        assert p.alpha == presets.DEFAULT_ALPHA
+        assert presets.default_params(laxity=0.9).laxity == 0.9
+
+    def test_paper_constants(self):
+        assert presets.X == 16
+        assert presets.T == 25.0
+        assert presets.N_JOBS_PAPER == 10_000

@@ -1,0 +1,46 @@
+"""Unit tests for multi-seed replication."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.replicate import replicate_point
+from repro.workloads.sweep import SweepConfig
+
+
+@pytest.fixture(scope="module")
+def point():
+    return replicate_point(SweepConfig(n_jobs=300), seeds=(1, 2, 3, 4))
+
+
+class TestReplicatePoint:
+    def test_structure(self, point):
+        assert point.seeds == (1, 2, 3, 4)
+        for metric in ("throughput", "utilization"):
+            for system in ("tunable", "shape1", "shape2"):
+                rm = point.metrics[metric][system]
+                assert len(rm.samples) == 4
+                assert rm.ci_low <= rm.mean <= rm.ci_high
+
+    def test_benefit_ci_is_paired(self, point):
+        ci = point.benefit_ci("throughput", "shape1")
+        tun = point.metrics["throughput"]["tunable"].samples
+        s1 = point.metrics["throughput"]["shape1"].samples
+        assert ci.samples == tuple(a - b for a, b in zip(tun, s1))
+
+    def test_headline_benefit_significant(self, point):
+        """At the default operating point the benefit over both shapes is
+        statistically solid even with four seeds x 300 jobs."""
+        assert point.benefit_significant("throughput", "shape1")
+        assert point.benefit_significant("throughput", "shape2")
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            replicate_point(SweepConfig(n_jobs=10), seeds=())
+        with pytest.raises(WorkloadError):
+            replicate_point(SweepConfig(n_jobs=10), seeds=(1, 1))
+
+    def test_single_seed_degenerate_ci(self):
+        point = replicate_point(SweepConfig(n_jobs=100), seeds=(9,))
+        rm = point.metrics["throughput"]["tunable"]
+        assert rm.ci_low == rm.mean == rm.ci_high
+        assert rm.half_width == 0.0

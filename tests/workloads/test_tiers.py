@@ -1,0 +1,79 @@
+"""Unit tests for the quality-tiered workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.model.quality import chain_quality
+from repro.workloads.synthetic import SyntheticParams
+from repro.workloads.tiers import DEFAULT_TIERS, QualityTier, TieredParams
+
+
+@pytest.fixture
+def tiered():
+    return TieredParams(base=SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5))
+
+
+class TestQualityTier:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QualityTier("x", 0.0, 0.5)
+        with pytest.raises(WorkloadError):
+            QualityTier("x", 1.5, 0.5)
+        with pytest.raises(WorkloadError):
+            QualityTier("x", 0.5, 0.0)
+        with pytest.raises(WorkloadError):
+            QualityTier("x", 0.5, 1.5)
+
+
+class TestTieredParams:
+    def test_default_three_tiers(self, tiered):
+        assert len(tiered.tiers) == 3
+        assert tiered.best_quality == 1.0
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(WorkloadError):
+            TieredParams(
+                tiers=(QualityTier("a", 1.0, 1.0), QualityTier("a", 0.5, 0.5))
+            )
+
+    def test_no_tiers_rejected(self):
+        with pytest.raises(WorkloadError):
+            TieredParams(tiers=())
+
+    def test_scale_below_one_processor_rejected(self):
+        base = SyntheticParams(x=4, t=10.0, alpha=0.5)
+        with pytest.raises(WorkloadError):
+            TieredParams(base=base, tiers=(QualityTier("tiny", 0.1, 0.5),))
+
+    def test_job_path_count(self, tiered):
+        job = tiered.tiered_job()
+        assert len(job.chains) == 2 * len(tiered.tiers)
+
+    def test_area_scales_with_tier(self, tiered):
+        job = tiered.tiered_job()
+        areas = [c.total_area for c in job.chains]
+        # Premium pair largest, economy pair smallest.
+        assert areas[0] == areas[1] > areas[2] == areas[3] > areas[4] == areas[5]
+
+    def test_quality_attached(self, tiered):
+        job = tiered.tiered_job()
+        qualities = [chain_quality(c) for c in job.chains]
+        assert qualities == [1.0, 1.0, 0.85, 0.85, 0.65, 0.65]
+
+    def test_transposition_within_tier(self, tiered):
+        shape1, shape2 = tiered.tier_chains(tiered.tiers[0])
+        assert shape1[0].processors == shape2[1].processors
+        assert shape1[1].processors == shape2[0].processors
+
+    def test_tier_of_chain_index(self, tiered):
+        assert tiered.tier_of_chain_index(0).label == "premium"
+        assert tiered.tier_of_chain_index(1).label == "premium"
+        assert tiered.tier_of_chain_index(4).label == "economy"
+        with pytest.raises(WorkloadError):
+            tiered.tier_of_chain_index(6)
+
+    def test_deadlines_match_base(self, tiered):
+        job = tiered.tiered_job()
+        for chain in job.chains:
+            assert chain[0].deadline == pytest.approx(tiered.base.d1)
+            assert chain[1].deadline == pytest.approx(tiered.base.d2)
