@@ -1,0 +1,162 @@
+"""Generate ``BENCH_sched.json``: the scheduler hot-path benchmark report.
+
+Two sections:
+
+* ``micro`` — the :mod:`bench_profile_ops` before/after pairs: the greedy
+  inner loop (``earliest_fit`` + ``reserve``) and the tie-break's
+  ``free_area`` window probes, each run against the legacy (seed) profile
+  implementation and the optimized one on identical request streams.  The
+  checksum fields double as a correctness guard: before/after must agree.
+* ``arrival`` — a figure-level arrival simulation (Figure-4 tunable jobs,
+  Poisson arrivals, the Section 5.2 arbitrator) reporting throughput,
+  utilization and the per-submit wall-clock decision latency percentiles
+  collected by :mod:`repro.perf`.
+
+Usage::
+
+    python benchmarks/run_bench.py            # full scale, writes BENCH_sched.json
+    python benchmarks/run_bench.py --quick    # CI smoke scale, ~seconds
+    python benchmarks/run_bench.py --output /tmp/bench.json
+
+The committed ``BENCH_sched.json`` at the repo root is regenerated with the
+default (full) scale.  Numbers are wall-clock and therefore machine-
+dependent; the *speedup ratios* are the stable, reviewable quantity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_SRC))
+
+from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
+    LegacyAvailabilityProfile,
+    run_area_query_bench,
+    run_reserve_fit_bench,
+)
+from repro.core.arbitrator import QoSArbitrator  # noqa: E402
+from repro.core.profile import AvailabilityProfile  # noqa: E402
+from repro.sim.arrivals import PoissonArrivals  # noqa: E402
+from repro.sim.rng import RandomStreams  # noqa: E402
+from repro.sim.simulator import simulate_arrivals  # noqa: E402
+from repro.workloads.synthetic import SyntheticParams  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_sched.json"
+
+
+def _pair(run, **kwargs) -> dict:
+    """Run one micro-benchmark for both implementations; attach the ratio."""
+    before = run(LegacyAvailabilityProfile, **kwargs)
+    after = run(AvailabilityProfile, **kwargs)
+    if before["checksum"] != after["checksum"]:
+        raise AssertionError(
+            f"implementations disagree: {before['checksum']} != {after['checksum']}"
+        )
+    return {
+        "before": before,
+        "after": after,
+        "speedup": round(after["ops_per_sec"] / before["ops_per_sec"], 3),
+    }
+
+
+def run_arrival_bench(
+    n_jobs: int,
+    capacity: int = 64,
+    mean_interval: float = 4.0,
+    seed: int = 2024,
+) -> dict:
+    """Figure-level arrival run with decision-latency instrumentation.
+
+    Poisson arrivals of the Figure-4 tunable job against the rigid
+    Section 5.2 arbitrator; returns the experiment's headline metrics plus
+    the :meth:`QoSArbitrator.perf_snapshot` latency/counter fields.
+    """
+    params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+    arbitrator = QoSArbitrator(capacity)
+    process = PoissonArrivals(mean_interval, RandomStreams(seed))
+    t_start = time.perf_counter()
+    metrics = simulate_arrivals(
+        arbitrator,
+        lambda i, release: params.tunable_job(release),
+        process,
+        n_jobs,
+    )
+    elapsed = time.perf_counter() - t_start
+    perf = metrics.perf
+    return {
+        "jobs": n_jobs,
+        "capacity": capacity,
+        "mean_interval": mean_interval,
+        "seconds": round(elapsed, 6),
+        "jobs_per_sec": round(n_jobs / elapsed, 1) if elapsed > 0 else None,
+        "throughput": metrics.throughput,
+        "admit_rate": round(metrics.admit_rate, 4),
+        "utilization": round(metrics.utilization, 4),
+        "decision_p50_us": round(perf.get("decision_p50_us", 0.0), 3),
+        "decision_p95_us": round(perf.get("decision_p95_us", 0.0), 3),
+        "chains_probed": perf.get("chains_probed", 0),
+        "chains_area_rejected": perf.get("chains_area_rejected", 0),
+        "profile_shift_ops": perf.get("profile_shift_ops", 0),
+        "profile_probes": perf.get("profile_probes", 0),
+        "profile_segments": perf.get("profile_segments", 0),
+    }
+
+
+def generate(quick: bool = False) -> dict:
+    """Run every section and return the report dict."""
+    if quick:
+        micro_n, area_n, area_resv, arrival_n = 1_500, 1_500, 600, 200
+    else:
+        micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
+    return {
+        "generated_by": "benchmarks/run_bench.py",
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "micro": {
+            "reserve_fit": _pair(run_reserve_fit_bench, n_placements=micro_n),
+            "area_query": _pair(
+                run_area_query_bench, n_queries=area_n, n_reservations=area_resv
+            ),
+        },
+        "arrival": run_arrival_bench(arrival_n),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke scale (seconds, for CI); committed reports use full scale",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"where to write the JSON report (default {DEFAULT_OUTPUT})",
+    )
+    args = parser.parse_args(argv)
+    report = generate(quick=args.quick)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    micro = report["micro"]
+    print(f"wrote {args.output}")
+    print(f"  reserve_fit speedup: {micro['reserve_fit']['speedup']}x")
+    print(f"  area_query speedup:  {micro['area_query']['speedup']}x")
+    print(
+        f"  decision latency: p50={report['arrival']['decision_p50_us']}us "
+        f"p95={report['arrival']['decision_p95_us']}us"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

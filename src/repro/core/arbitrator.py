@@ -141,19 +141,33 @@ class QoSArbitrator:
 
     # ------------------------------------------------------------------
 
+    def perf_snapshot(self) -> dict[str, float | int]:
+        """Hot-path instrumentation summary (see :mod:`repro.perf`).
+
+        Includes per-submit wall-clock decision latency (``decision_*``),
+        scheduler counters (probes, quick/area rejects, commits, rollbacks)
+        and profile operation stats (``profile_*``).
+        """
+        return self.schedule.perf_snapshot()
+
+    # ------------------------------------------------------------------
+
     def submit(self, job: Job) -> AdmissionDecision:
         """Admission-control one job and commit its chosen configuration.
 
         Jobs must be submitted in non-decreasing release order when profile
         compaction is enabled (the default), matching an arrival process.
+        Each call records one wall-clock ``decision`` latency sample on
+        :attr:`Schedule.perf <repro.core.schedule.Schedule.perf>`.
         """
         self._quality_possible += job.best_quality(self.quality_composition)
-        if self.objective is ArbitrationObjective.EARLIEST_FINISH:
-            decision = self.admission.offer(job)
-        elif self.objective is ArbitrationObjective.MAX_QUALITY:
-            decision = self._offer_max_quality(job)
-        else:  # pragma: no cover - closed enum
-            raise ConfigurationError(f"unknown objective {self.objective!r}")
+        with self.schedule.perf.timed("decision"):
+            if self.objective is ArbitrationObjective.EARLIEST_FINISH:
+                decision = self.admission.offer(job)
+            elif self.objective is ArbitrationObjective.MAX_QUALITY:
+                decision = self._offer_max_quality(job)
+            else:  # pragma: no cover - closed enum
+                raise ConfigurationError(f"unknown objective {self.objective!r}")
         if decision.admitted and decision.placement is not None:
             self._quality_sum += chain_quality(
                 decision.placement.chain, self.quality_composition

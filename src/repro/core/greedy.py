@@ -18,6 +18,7 @@ earliest finish time."
 
 from __future__ import annotations
 
+import math
 import random
 from typing import Sequence
 
@@ -65,6 +66,27 @@ class GreedyScheduler:
         """
         return chain.is_trivially_infeasible(self.schedule.capacity)
 
+    def _area_reject(self, chain: TaskChain, release: float) -> bool:
+        """O(log S) free-area necessary condition against the live profile.
+
+        A chain's tasks occupy pairwise-disjoint time intervals inside
+        ``[release, release + final_deadline]`` (every task finishes before
+        the final task's deadline), so the window's free processor-time must
+        cover the chain's total area for *any* placement — rigid or
+        malleable (reshaping conserves area).  Runs off the profile's
+        cached prefix sums, so it prunes doomed first-fit walks for the
+        cost of two bisections.  The small absolute slack keeps a perfectly
+        tight feasible chain from being rejected by float accumulation.
+        """
+        profile = self.schedule.profile
+        t0 = max(release, profile.origin)
+        t1 = release + chain.final_deadline
+        if math.isinf(t1):
+            return False
+        if t1 <= t0:
+            return True
+        return profile.free_area(t0, t1) < chain.total_area - 1e-6
+
     def place_chain(
         self,
         chain: TaskChain,
@@ -102,9 +124,15 @@ class GreedyScheduler:
 
     def candidates(self, job: Job) -> list[ChainPlacement]:
         """Tentative placements for every schedulable configuration of ``job``."""
+        perf = self.schedule.perf
         out: list[ChainPlacement] = []
         for idx, chain in enumerate(job.chains):
+            perf.count("chains_probed")
             if self._quick_reject(chain):
+                perf.count("chains_quick_rejected")
+                continue
+            if self._area_reject(chain, job.release):
+                perf.count("chains_area_rejected")
                 continue
             cp = self.place_chain(chain, job.release, job.job_id, idx)
             if cp is not None:
@@ -135,10 +163,16 @@ class GreedyScheduler:
         Used by baseline experiments that strip tunability from a job
         without rebuilding it.
         """
+        perf = self.schedule.perf
         cands: list[ChainPlacement] = []
         for idx in chain_indices:
             chain = job.chains[idx]
+            perf.count("chains_probed")
             if self._quick_reject(chain):
+                perf.count("chains_quick_rejected")
+                continue
+            if self._area_reject(chain, job.release):
+                perf.count("chains_area_rejected")
                 continue
             cp = self.place_chain(chain, job.release, job.job_id, idx)
             if cp is not None:

@@ -13,6 +13,22 @@ the full maximal-hole set from an :class:`~repro.core.profile.AvailabilityProfil
 (the equivalence is exercised heavily by the property-based tests), and
 provides containment/fitting predicates used by the expository API and by
 the test oracle for the first-fit search.
+
+Epsilon convention
+------------------
+Instants within :data:`~repro.core.resources.TIME_EPS` of a boundary are
+treated as *at* that boundary, consistently with the profile's reservation
+snapping and :func:`~repro.core.first_fit.earliest_fit`:
+
+* a task may overrun a hole's end (or its deadline) by at most ``TIME_EPS``
+  — :meth:`MaximalHole.fits` and :func:`first_fit_via_holes` test
+  ``finish <= t_e + TIME_EPS``, the hole-level mirror of ``earliest_fit``'s
+  ``seg_end - start >= duration - TIME_EPS`` run-coverage test;
+* :func:`holes_containing` treats a query instant within ``TIME_EPS`` of
+  ``t_e`` as sitting on the (exclusive) right edge, and one within
+  ``TIME_EPS`` below ``t_b`` as sitting on the (inclusive) left edge.
+
+``tests/core/test_holes.py::TestEpsilonBoundaries`` pins this behaviour.
 """
 
 from __future__ import annotations

@@ -108,8 +108,10 @@ class MalleableScheduler(GreedyScheduler):
             return None
         area = task.area
         best: Placement | None = None
+        perf = self.schedule.perf
         for procs in range(width_cap, self.min_processors - 1, -1):
             duration = area / procs
+            perf.count("reshape_probes")
             start = earliest_fit(profile, procs, duration, earliest, deadline)
             if start is None:
                 continue

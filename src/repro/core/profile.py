@@ -21,6 +21,30 @@ Invariants (checked by :meth:`check_invariants` and the test suite):
 * ``_times`` strictly increasing, ``len(_times) == len(_avail) >= 1``;
 * ``0 <= _avail[i] <= capacity`` for all ``i``;
 * adjacent segments have distinct availability (canonical form).
+
+Performance
+-----------
+All mutations go through a single *windowed rewrite* (:meth:`_shift`): the
+affected index window is located by bisection, validated in one scan, and
+replaced with one slice assignment per array — no per-breakpoint
+``list.insert``/``del`` splices, no post-hoc canonicalization pass.  The
+work per operation is O(log S + W) Python steps plus one O(S) C-level
+memmove, where W is the number of segments overlapping the interval.
+
+Area queries (:meth:`free_area`, :meth:`busy_area`) run off a cached
+prefix-sum over the segment areas, rebuilt lazily after a mutation, making
+each query O(log S).  :class:`~repro.perf.ProfileStats` counters
+(``stats``) record ops, per-op segments touched, probe scans and prefix
+rebuilds; they are always on and cost a few integer adds per operation.
+
+For fit probes on *large* profiles, the profile additionally maintains
+NumPy mirrors of ``_times`` and ``_avail`` (:meth:`_mirrors`): built lazily
+on the first probe, then kept in sync by the same windowed splice
+``_shift`` applies to the lists (one C-level concatenate each per
+mutation).  The :func:`~repro.core.first_fit.earliest_fit` search uses them
+to locate and feasibility-test runs of sufficient availability with
+vectorized comparisons instead of a per-segment Python loop — the
+difference between ~500µs and ~30µs per probe on a 10k-segment profile.
 """
 
 from __future__ import annotations
@@ -29,8 +53,11 @@ import math
 from bisect import bisect_right
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.errors import CapacityExceededError, ConfigurationError, SchedulingError
 from repro.core.resources import TIME_EPS
+from repro.perf import ProfileStats
 
 __all__ = ["AvailabilityProfile"]
 
@@ -47,7 +74,21 @@ class AvailabilityProfile:
         free from ``origin`` onward in a fresh profile.
     """
 
-    __slots__ = ("_capacity", "_times", "_avail")
+    __slots__ = (
+        "_capacity",
+        "_times",
+        "_avail",
+        "_prefix",
+        "_np_times",
+        "_np_avail",
+        "stats",
+    )
+
+    #: Class-level switch consulted by :func:`~repro.core.first_fit.earliest_fit`:
+    #: when True (and the profile is large enough) fit probes scan the NumPy
+    #: availability mirror instead of walking segments in Python.  The legacy
+    #: baseline in ``benchmarks/`` sets this False to preserve seed behaviour.
+    VECTORIZED_SCAN = True
 
     def __init__(self, capacity: int, origin: float = 0.0) -> None:
         if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
@@ -57,6 +98,17 @@ class AvailabilityProfile:
         self._capacity = capacity
         self._times: list[float] = [origin]
         self._avail: list[int] = [capacity]
+        #: Cached free-area prefix sums; None whenever the profile mutated
+        #: since the last area query (rebuilt lazily by :meth:`_ensure_prefix`).
+        self._prefix: list[float] | None = None
+        #: NumPy mirrors of ``_times`` / ``_avail`` for vectorized fit
+        #: probes; built lazily by :meth:`_mirrors` and kept in sync
+        #: incrementally by :meth:`_shift` / :meth:`compact` (never rebuilt
+        #: from scratch on the mutation path).
+        self._np_times: np.ndarray | None = None
+        self._np_avail: np.ndarray | None = None
+        #: Always-on operation counters (see :class:`repro.perf.ProfileStats`).
+        self.stats = ProfileStats()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -107,11 +159,15 @@ class AvailabilityProfile:
         return f"AvailabilityProfile(capacity={self._capacity}, {parts})"
 
     def copy(self) -> "AvailabilityProfile":
-        """Return an independent deep copy."""
+        """Return an independent deep copy (with fresh stats counters)."""
         new = AvailabilityProfile.__new__(AvailabilityProfile)
         new._capacity = self._capacity
         new._times = list(self._times)
         new._avail = list(self._avail)
+        new._prefix = None
+        new._np_times = None
+        new._np_avail = None
+        new.stats = ProfileStats()
         return new
 
     @classmethod
@@ -166,6 +222,24 @@ class AvailabilityProfile:
         """Free processors at instant ``t`` (right-open convention)."""
         return self._avail[self._index_at(t)]
 
+    def _mirrors(self) -> tuple[np.ndarray, np.ndarray]:
+        """NumPy views of ``(_times, _avail)`` for vectorized probes.
+
+        Built from the lists on first use (O(S)); thereafter every windowed
+        rewrite splices the same change into the mirrors at C speed, so they
+        are never rebuilt from scratch while probes and mutations alternate
+        — the access pattern of the scheduling hot path.
+        """
+        avail_m = self._np_avail
+        if avail_m is None:
+            avail_m = np.asarray(self._avail, dtype=np.int64)
+            self._np_avail = avail_m
+        times_m = self._np_times
+        if times_m is None:
+            times_m = np.asarray(self._times, dtype=np.float64)
+            self._np_times = times_m
+        return times_m, avail_m
+
     def min_available(self, t0: float, t1: float) -> int:
         """Minimum free processors over the interval ``[t0, t1)``.
 
@@ -183,23 +257,52 @@ class AvailabilityProfile:
             i += 1
         return lo
 
+    def _ensure_prefix(self) -> list[float]:
+        """Return the cached free-area prefix sums, rebuilding if stale.
+
+        ``prefix[k]`` is the free processor-time integral from the origin to
+        ``_times[k]``.  The cache is dropped on every mutation and rebuilt
+        in one O(S) pass on the next area query, so a burst of queries
+        between mutations (the tie-break rule probes several windows per
+        arrival) costs O(log S) each.
+        """
+        prefix = self._prefix
+        if prefix is None:
+            times = self._times
+            avail = self._avail
+            prefix = [0.0] * len(times)
+            acc = 0.0
+            for k in range(1, len(times)):
+                acc += avail[k - 1] * (times[k] - times[k - 1])
+                prefix[k] = acc
+            self._prefix = prefix
+            self.stats.prefix_rebuilds += 1
+        return prefix
+
+    def _cumulative_free(self, t: float, prefix: list[float]) -> float:
+        """Free area integrated over ``[origin, t)`` (``t >= origin``)."""
+        times = self._times
+        i = bisect_right(times, t) - 1
+        if i < 0:  # t within TIME_EPS below the origin
+            return 0.0
+        return prefix[i] + self._avail[i] * (t - times[i])
+
     def free_area(self, t0: float, t1: float) -> float:
-        """Integral of free processors over ``[t0, t1)`` (processor-time)."""
+        """Integral of free processors over ``[t0, t1)`` (processor-time).
+
+        O(log S) via the cached prefix sums (plus an O(S) rebuild on the
+        first query after a mutation).
+        """
         if t1 <= t0:
             return 0.0
         if math.isinf(t1):
             raise SchedulingError("free_area requires a finite upper bound")
-        total = 0.0
-        i = self._index_at(t0)
-        n = len(self._times)
-        cur = t0
-        while cur < t1 - TIME_EPS:
-            seg_end = self._times[i + 1] if i + 1 < n else math.inf
-            upper = min(seg_end, t1)
-            total += self._avail[i] * (upper - cur)
-            cur = upper
-            i += 1
-        return total
+        if t0 < self._times[0] - TIME_EPS:
+            raise SchedulingError(
+                f"time {t0} precedes profile origin {self._times[0]}"
+            )
+        prefix = self._ensure_prefix()
+        return self._cumulative_free(t1, prefix) - self._cumulative_free(t0, prefix)
 
     def busy_area(self, t0: float, t1: float) -> float:
         """Integral of *busy* processors over ``[t0, t1)``."""
@@ -211,51 +314,20 @@ class AvailabilityProfile:
     # Mutation
     # ------------------------------------------------------------------
 
-    def _split_at(self, t: float) -> int:
-        """Ensure a breakpoint exists at ``t``; return its segment index.
-
-        Times within :data:`TIME_EPS` of an existing breakpoint are snapped
-        to it rather than creating a sliver segment.
-        """
-        i = self._index_at(t)
-        if abs(self._times[i] - t) <= TIME_EPS:
-            return i
-        if i + 1 < len(self._times) and abs(self._times[i + 1] - t) <= TIME_EPS:
-            return i + 1
-        self._times.insert(i + 1, t)
-        self._avail.insert(i + 1, self._avail[i])
-        return i + 1
-
-    def _canonicalize(self, lo: int, hi: int) -> None:
-        """Merge equal-availability neighbours in index window [lo-1, hi+1]."""
-        start = max(lo - 1, 0)
-        end = min(hi + 1, len(self._avail) - 1)
-        i = max(start, 1)
-        while i <= end and i < len(self._avail):
-            if self._avail[i] == self._avail[i - 1]:
-                del self._avail[i]
-                del self._times[i]
-                end -= 1
-            else:
-                i += 1
-
-    def _max_available(self, t0: float, t1: float) -> int:
-        """Maximum free processors over ``[t0, t1)``."""
-        i = self._index_at(t0)
-        hi = self._avail[i]
-        n = len(self._times)
-        i += 1
-        while i < n and self._times[i] < t1 - TIME_EPS:
-            if self._avail[i] > hi:
-                hi = self._avail[i]
-            i += 1
-        return hi
-
     def _shift(self, t0: float, t1: float, delta: int) -> None:
         """Add ``delta`` free processors over ``[t0, t1)``, validating bounds.
 
         Validation happens *before* any mutation, so a rejected operation
         leaves the profile bit-identical (no stray breakpoints).
+
+        Implementation: a single *windowed rewrite*.  The affected segment
+        window is located by bisection, its bounds snapped to existing
+        breakpoints within :data:`TIME_EPS` (never creating sliver
+        segments), validated in one scan, rebuilt canonically (equal
+        neighbours merged as it is built, including against both
+        untouched border segments), and spliced in with one slice
+        assignment per array.  Per-op Python work is proportional to the
+        *window* size, not the total segment count.
         """
         if math.isnan(t0) or math.isnan(t1):
             raise SchedulingError("reservation times must not be NaN")
@@ -265,22 +337,96 @@ class AvailabilityProfile:
             )
         if math.isinf(t1):
             raise SchedulingError("reservations must have a finite end time")
-        if delta < 0 and self.min_available(t0, t1) < -delta:
-            raise CapacityExceededError(
-                f"reserving {-delta} processors over [{t0}, {t1}) would "
-                f"exceed capacity: only {self.min_available(t0, t1)} free at "
-                "the tightest instant"
+        times = self._times
+        avail = self._avail
+        n = len(times)
+        # Locate the left edge and snap it to a breakpoint within TIME_EPS.
+        i = self._index_at(t0)
+        if abs(times[i] - t0) <= TIME_EPS:
+            t0 = times[i]
+        elif i + 1 < n and abs(times[i + 1] - t0) <= TIME_EPS:
+            i += 1
+            t0 = times[i]
+        # Locate the right edge; `last` is the final shifted segment and
+        # `trailing` marks whether t1 falls strictly inside it.
+        j = bisect_right(times, t1) - 1
+        trailing = False
+        if abs(times[j] - t1) <= TIME_EPS:
+            t1 = times[j]
+            last = j - 1
+        elif j + 1 < n and abs(times[j + 1] - t1) <= TIME_EPS:
+            t1 = times[j + 1]
+            last = j
+        else:
+            last = j
+            trailing = True
+        if t1 <= t0:
+            return  # both edges snapped to the same breakpoint: no-op
+        # Validate the whole window before touching anything.
+        window = avail[i : last + 1]
+        if delta < 0:
+            tightest = min(window)
+            if tightest < -delta:
+                raise CapacityExceededError(
+                    f"reserving {-delta} processors over [{t0}, {t1}) would "
+                    f"exceed capacity: only {tightest} free at the tightest "
+                    "instant"
+                )
+        else:
+            widest = max(window)
+            if widest + delta > self._capacity:
+                raise CapacityExceededError(
+                    f"releasing {delta} processors over [{t0}, {t1}) would "
+                    f"exceed capacity {self._capacity}"
+                )
+        # Build the replacement window, merging equal neighbours on the fly.
+        new_times: list[float] = []
+        new_avail: list[int] = []
+        if t0 > times[i]:
+            # Left part of segment i survives unshifted.
+            new_times.append(times[i])
+            new_avail.append(avail[i])
+            prev = avail[i]
+        else:
+            # Window starts at a breakpoint: merge candidate is segment i-1.
+            prev = avail[i - 1] if i > 0 else -1
+        start = t0
+        for k in range(i, last + 1):
+            value = avail[k] + delta
+            if value != prev:
+                new_times.append(start if k == i else times[k])
+                new_avail.append(value)
+                prev = value
+            # else: equal to the previous value — the breakpoint vanishes.
+        if trailing:
+            # Right part of segment `last` survives unshifted; it cannot
+            # merge (its value differs from avail[last] + delta by delta).
+            new_times.append(t1)
+            new_avail.append(avail[last])
+        hi = last + 1
+        if not trailing and hi < n and avail[hi] == prev:
+            hi += 1  # absorb the right border segment's breakpoint
+        times[i:hi] = new_times
+        avail[i:hi] = new_avail
+        # Same splice, applied to any live mirror in one C-level concatenate
+        # each.  (Explicit dtypes: an empty replacement window must not
+        # promote the availability mirror to float64.)
+        mirror = self._np_avail
+        if mirror is not None:
+            self._np_avail = np.concatenate(
+                (mirror[:i], np.asarray(new_avail, dtype=np.int64), mirror[hi:])
             )
-        if delta > 0 and self._max_available(t0, t1) + delta > self._capacity:
-            raise CapacityExceededError(
-                f"releasing {delta} processors over [{t0}, {t1}) would "
-                f"exceed capacity {self._capacity}"
+        mirror = self._np_times
+        if mirror is not None:
+            self._np_times = np.concatenate(
+                (mirror[:i], np.asarray(new_times, dtype=np.float64), mirror[hi:])
             )
-        i0 = self._split_at(t0)
-        i1 = self._split_at(t1)
-        for i in range(i0, i1):
-            self._avail[i] += delta
-        self._canonicalize(i0, i1)
+        self._prefix = None
+        stats = self.stats
+        stats.shift_ops += 1
+        touched = last - i + 1
+        stats.segments_touched += touched
+        stats.last_touched = touched
 
     def reserve(self, t0: float, t1: float, processors: int) -> None:
         """Commit ``processors`` CPUs over ``[t0, t1)``.
@@ -315,12 +461,23 @@ class AvailabilityProfile:
         if i == 0:
             return
         # Keep segment i onward; re-anchor its start at `before` only if the
-        # origin moves past the old breakpoint.
+        # origin moves past the old breakpoint.  The kept suffix is already
+        # canonical (adjacent values were distinct before the trim).
         self._times = self._times[i:]
         self._avail = self._avail[i:]
         if self._times[0] < before:
             self._times[0] = before
-        self._canonicalize(0, 0)
+        mirror = self._np_avail
+        if mirror is not None:
+            self._np_avail = mirror[i:]
+        mirror = self._np_times
+        if mirror is not None:
+            # Copy before the re-anchor write: the slice is a view.
+            mirror = mirror[i:].copy()
+            mirror[0] = self._times[0]
+            self._np_times = mirror
+        self._prefix = None
+        self.stats.compactions += 1
 
     # ------------------------------------------------------------------
     # Validation
@@ -339,3 +496,9 @@ class AvailabilityProfile:
         for a, b in zip(self._avail, self._avail[1:]):
             if a == b:
                 raise SchedulingError("profile not canonical: equal neighbours")
+        mirror = self._np_avail
+        if mirror is not None and list(mirror) != self._avail:
+            raise SchedulingError("NumPy availability mirror out of sync")
+        mirror = self._np_times
+        if mirror is not None and list(mirror) != self._times:
+            raise SchedulingError("NumPy breakpoint mirror out of sync")

@@ -11,11 +11,13 @@ profile compaction, and can audit itself end-to-end
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Iterable
 
 from repro.core.placement import ChainPlacement, Placement
 from repro.core.profile import AvailabilityProfile
 from repro.errors import ScheduleConsistencyError
+from repro.perf import PerfRecorder
 
 __all__ = ["Schedule"]
 
@@ -41,10 +43,17 @@ class Schedule:
         self, capacity: int, origin: float = 0.0, keep_placements: bool = True
     ) -> None:
         self.profile = AvailabilityProfile(capacity, origin=origin)
+        self.perf = PerfRecorder()
         self._keep = keep_placements
         self._placements: list[ChainPlacement] = []
         self._committed_area = 0.0
         self._committed_jobs = 0
+        # Multisets of committed release/finish times: rollback must be able
+        # to *shrink* the utilization window, so the extremes cannot be
+        # tracked as bare running min/max (a rolled-back extreme would leave
+        # them stale and deflate utilization()).
+        self._releases: Counter[float] = Counter()
+        self._finishes: Counter[float] = Counter()
         self._first_release = math.inf
         self._last_finish = -math.inf
 
@@ -116,6 +125,7 @@ class Schedule:
                 self.profile.reserve(pl.start, pl.end, pl.processors)
                 applied.append(pl)
         except Exception:
+            self.perf.count("commit_failures")
             for pl in reversed(applied):
                 self.profile.release(pl.start, pl.end, pl.processors)
             raise
@@ -123,11 +133,22 @@ class Schedule:
             self._placements.append(cp)
         self._committed_area += cp.total_area
         self._committed_jobs += 1
-        self._first_release = min(self._first_release, cp.release)
-        self._last_finish = max(self._last_finish, cp.finish)
+        self._releases[cp.release] += 1
+        self._finishes[cp.finish] += 1
+        if cp.release < self._first_release:
+            self._first_release = cp.release
+        if cp.finish > self._last_finish:
+            self._last_finish = cp.finish
+        self.perf.count("commits")
 
     def rollback(self, cp: ChainPlacement) -> None:
-        """Undo a previously committed chain placement."""
+        """Undo a previously committed chain placement.
+
+        The utilization window is recomputed from the surviving committed
+        placements: rolling back the earliest-released or latest-finishing
+        job shrinks ``first_release``/``last_finish`` accordingly instead of
+        leaving them stale.
+        """
         for pl in reversed(cp.placements):
             self.profile.release(pl.start, pl.end, pl.processors)
         if self._keep:
@@ -139,6 +160,21 @@ class Schedule:
                 ) from exc
         self._committed_area -= cp.total_area
         self._committed_jobs -= 1
+        self._releases[cp.release] -= 1
+        if not self._releases[cp.release]:
+            del self._releases[cp.release]
+            if cp.release == self._first_release:
+                self._first_release = (
+                    min(self._releases) if self._releases else math.inf
+                )
+        self._finishes[cp.finish] -= 1
+        if not self._finishes[cp.finish]:
+            del self._finishes[cp.finish]
+            if cp.finish == self._last_finish:
+                self._last_finish = (
+                    max(self._finishes) if self._finishes else -math.inf
+                )
+        self.perf.count("rollbacks")
 
     def compact(self, before: float) -> None:
         """Forget profile structure before ``before`` (see profile docs).
@@ -147,6 +183,23 @@ class Schedule:
         commit time.
         """
         self.profile.compact(before)
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def perf_snapshot(self) -> dict[str, float | int]:
+        """Flat performance summary: recorder counters/timers + profile stats.
+
+        Profile counters come through prefixed with ``profile_``; the
+        current segment count rides along as ``profile_segments`` (a proxy
+        for live-allocation fragmentation).  See :mod:`repro.perf`.
+        """
+        out = self.perf.snapshot()
+        for name, value in self.profile.stats.as_dict().items():
+            out[f"profile_{name}"] = value
+        out["profile_segments"] = len(self.profile)
+        return out
 
     # ------------------------------------------------------------------
     # Auditing

@@ -1,0 +1,151 @@
+"""Lightweight hot-path instrumentation: counters and wall-time timers.
+
+The arbitrator's decision loop is the system's throughput ceiling (Section
+5.2's heuristic probes and mutates the availability profile once or more per
+arrival at 10,000-arrival scale), so reconfiguration-decision cost is a
+first-class metric here — as it is for the related malleable-scheduling
+systems (DMR, ReSHAPE).  This module provides the two primitives that make
+that cost observable without slowing the hot path down:
+
+* :class:`ProfileStats` — always-on plain-integer counters owned by each
+  :class:`~repro.core.profile.AvailabilityProfile`.  Increments are bare
+  ``int`` attribute additions; the profile never branches on whether anyone
+  is listening.
+* :class:`PerfRecorder` — counters plus wall-clock timers/latency samples,
+  owned by each :class:`~repro.core.schedule.Schedule` and fed by the greedy
+  and malleable schedulers, the arbitrator (per-submit decision latency) and
+  the simulator.  Snapshots surface in
+  :attr:`repro.sim.metrics.RunMetrics.perf` and in ``BENCH_sched.json``.
+
+Everything here measures *wall* time (``time.perf_counter``); virtual
+(simulated) time is never involved.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ProfileStats", "PerfRecorder", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (``q`` in [0, 100]).
+
+    Returns ``nan`` for an empty sample list.  Kept dependency-free so the
+    perf layer never imports numpy on the hot path.
+    """
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ProfileStats:
+    """Always-on operation counters for one availability profile.
+
+    Every field is a plain ``int`` bumped with ``+=`` on the hot path —
+    cheap enough to leave permanently enabled.  ``last_touched`` records the
+    segment-window size of the most recent mutation, which is what the
+    complexity regression tests assert on (touched segments must track the
+    *local* window, not the total segment count).
+    """
+
+    __slots__ = (
+        "shift_ops",
+        "segments_touched",
+        "last_touched",
+        "probes",
+        "probe_segments",
+        "prefix_rebuilds",
+        "compactions",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.shift_ops = 0
+        self.segments_touched = 0
+        self.last_touched = 0
+        self.probes = 0
+        self.probe_segments = 0
+        self.prefix_rebuilds = 0
+        self.compactions = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat mapping of all counters (for snapshots and JSON reports)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ProfileStats({body})"
+
+
+class PerfRecorder:
+    """Named counters, accumulated wall-time, and latency sample streams.
+
+    One recorder lives on each :class:`~repro.core.schedule.Schedule`; the
+    schedulers and the arbitrator share it.  All methods are cheap enough
+    for per-arrival use; latency streams store one float per observation
+    (one per job submission in the simulator), which is negligible at the
+    paper's 10,000-arrival scale.
+    """
+
+    __slots__ = ("counters", "timings", "latencies")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.timings: dict[str, float] = {}
+        self.latencies: dict[str, list[float]] = {}
+
+    def reset(self) -> None:
+        """Drop all recorded data."""
+        self.counters.clear()
+        self.timings.clear()
+        self.latencies.clear()
+
+    # ------------------------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at zero on first use)."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        """Record one wall-time latency sample under ``name``."""
+        self.timings[name] = self.timings.get(name, 0.0) + seconds
+        self.latencies.setdefault(name, []).append(seconds)
+
+    @contextmanager
+    def timed(self, name: str) -> Iterator[None]:
+        """Context manager recording the block's wall time under ``name``."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, float | int]:
+        """Flat summary: counters, total seconds, and latency percentiles.
+
+        Latency streams contribute ``<name>_s`` (total), ``<name>_count``,
+        ``<name>_p50_us`` and ``<name>_p95_us`` (microseconds — decision
+        latencies are far below a millisecond).
+        """
+        out: dict[str, float | int] = dict(self.counters)
+        for name, total in self.timings.items():
+            out[f"{name}_s"] = total
+        for name, samples in self.latencies.items():
+            out[f"{name}_count"] = len(samples)
+            out[f"{name}_p50_us"] = percentile(samples, 50) * 1e6
+            out[f"{name}_p95_us"] = percentile(samples, 95) * 1e6
+        return out

@@ -99,6 +99,13 @@ class SimulationEngine:
 
         Returns the number of events processed by this call.  Events at
         exactly ``until`` are processed.
+
+        When ``until`` is finite and every event at or before it has been
+        handled (including the queue draining early), the clock advances to
+        ``until`` — so back-to-back ``run(until=t1); run(until=t2)`` callers
+        observe ``now == t1`` between the calls rather than a clock stuck at
+        the last event.  A stop caused by ``max_events`` leaves the clock at
+        the last processed event, since work at or before ``until`` remains.
         """
         if self._running:
             raise SimulationError("engine is not re-entrant")
@@ -112,6 +119,10 @@ class SimulationEngine:
                     break
                 self.step()
                 count += 1
+            # peek_time() is +inf on an empty queue, so this single check
+            # covers both the early-drain and next-event-beyond-until stops.
+            if math.isfinite(until) and self._queue.peek_time() > until:
+                self._now = max(self._now, until)
         finally:
             self._running = False
         return count

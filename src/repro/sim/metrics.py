@@ -41,6 +41,12 @@ class RunMetrics:
         Sum of path qualities over admitted jobs.
     horizon:
         Last committed finish time (virtual).
+    perf:
+        Hot-path instrumentation snapshot (wall-clock decision latency
+        percentiles, probe/reject counters, profile op stats — see
+        :mod:`repro.perf`).  Empty when the driver did not collect one.
+        Not part of :meth:`as_dict` — wall-clock numbers are diagnostics,
+        not experiment results.
     """
 
     offered: int
@@ -53,6 +59,9 @@ class RunMetrics:
     chain_usage: Mapping[int, int]
     achieved_quality: float
     horizon: float
+    # compare=False: wall-clock diagnostics never make two runs unequal
+    # (and they don't survive persistence round-trips by design).
+    perf: Mapping[str, float | int] = field(default_factory=dict, compare=False)
 
     @property
     def throughput(self) -> int:
@@ -113,6 +122,7 @@ class MetricsCollector:
         chain_usage: Mapping[int, int],
         achieved_quality: float,
         horizon: float,
+        perf: Mapping[str, float | int] | None = None,
     ) -> RunMetrics:
         """Produce the immutable summary."""
         if self._responses:
@@ -136,4 +146,5 @@ class MetricsCollector:
             chain_usage=dict(chain_usage),
             achieved_quality=achieved_quality,
             horizon=horizon,
+            perf=dict(perf) if perf else {},
         )

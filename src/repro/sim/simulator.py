@@ -89,6 +89,7 @@ class ArrivalSimulator:
             chain_usage=self.arbitrator.chain_usage(),
             achieved_quality=self.arbitrator.achieved_quality,
             horizon=sched.last_finish if sched.committed_jobs else 0.0,
+            perf=self.arbitrator.perf_snapshot(),
         )
 
 

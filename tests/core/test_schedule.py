@@ -95,6 +95,68 @@ class TestCommit:
         s.check_consistency()  # must not raise
 
 
+class TestRollbackWindowAccounting:
+    """Regression: rollback used to leave the utilization window stale.
+
+    ``Schedule`` tracked ``first_release``/``last_finish`` as bare running
+    extremes, so rolling back the earliest-released or latest-finishing job
+    kept the old window and ``utilization()`` divided committed area by a
+    span no surviving placement occupies.  The window is now recomputed
+    from the surviving placements' release/finish multisets.
+    """
+
+    def test_rollback_latest_finisher_shrinks_window(self):
+        s = Schedule(4)
+        early = chain_placement(job_id=1, start=0.0, procs=2, dur=5.0)
+        late = chain_placement(job_id=2, start=10.0, dur=5.0, release=10.0)
+        s.commit(early)
+        s.commit(late)
+        assert s.last_finish == 15.0
+        s.rollback(late)
+        # Stale accounting kept last_finish == 15.0 and reported
+        # utilization 10 / (4 * 15) instead of 10 / (4 * 5).
+        assert s.last_finish == 5.0
+        assert s.utilization() == pytest.approx(0.5)
+
+    def test_rollback_earliest_release_shrinks_window(self):
+        s = Schedule(4)
+        early = chain_placement(job_id=1, start=0.0, procs=2, dur=5.0)
+        late = chain_placement(job_id=2, start=10.0, dur=5.0, release=10.0)
+        s.commit(early)
+        s.commit(late)
+        s.rollback(early)
+        assert s.first_release == 10.0
+        assert s.last_finish == 15.0
+        assert s.utilization() == pytest.approx(0.5)
+
+    def test_rollback_with_duplicate_extremes_keeps_window(self):
+        s = Schedule(8)
+        twin_a = chain_placement(job_id=1, start=0.0, procs=2, dur=5.0)
+        twin_b = chain_placement(job_id=2, start=0.0, procs=2, dur=5.0)
+        s.commit(twin_a)
+        s.commit(twin_b)
+        s.rollback(twin_a)
+        # The twin still occupies the same window: no shrink.
+        assert s.first_release == 0.0
+        assert s.last_finish == 5.0
+        assert s.utilization() == pytest.approx(10.0 / (8 * 5))
+
+    def test_rollback_to_empty_resets_window(self):
+        s = Schedule(4)
+        cp = chain_placement()
+        s.commit(cp)
+        s.rollback(cp)
+        assert s.first_release == float("inf")
+        assert s.last_finish == float("-inf")
+        assert s.utilization() == 0.0
+        # The schedule remains fully usable afterwards.
+        again = chain_placement(job_id=3, start=2.0, dur=3.0, release=2.0)
+        s.commit(again)
+        assert s.first_release == 2.0
+        assert s.last_finish == 5.0
+        assert s.utilization() == pytest.approx((2 * 3.0) / (4 * 3.0))
+
+
 class TestMetrics:
     def test_utilization_empty(self):
         assert Schedule(4).utilization() == 0.0

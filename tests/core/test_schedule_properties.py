@@ -1,0 +1,129 @@
+"""Property tests: schedule accounting survives commit/rollback interleaving.
+
+The schedule's incremental accounting (``committed_area``, the utilization
+window extremes, the profile itself) must always agree with a from-scratch
+replay of the placements that survived — whatever order commits and
+rollbacks happened in.  This is the property the stale-window rollback bug
+violated: a rollback of the earliest-released or latest-finishing job left
+``first_release``/``last_finish`` pointing at the departed placement.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.first_fit import earliest_fit
+from repro.core.placement import ChainPlacement, Placement
+from repro.core.resources import ProcessorTimeRequest
+from repro.core.schedule import Schedule
+from repro.model.chain import TaskChain
+from repro.model.task import TaskSpec
+
+CAPACITY = 6
+_LOOSE_DEADLINE = 1e6
+
+
+def _place(schedule: Schedule, job_id: int, procs: int, duration: float,
+           release: float) -> ChainPlacement | None:
+    """Earliest-fit a one-task chain onto the schedule's live profile."""
+    start = earliest_fit(schedule.profile, procs, duration, release)
+    if start is None:
+        return None
+    chain = TaskChain(
+        (TaskSpec("t", ProcessorTimeRequest(procs, duration),
+                  deadline=_LOOSE_DEADLINE),)
+    )
+    return ChainPlacement(
+        job_id=job_id,
+        chain_index=0,
+        chain=chain,
+        placements=(Placement.rigid(chain[0], start),),
+        release=release,
+    )
+
+
+@st.composite
+def interleavings(draw, max_ops: int = 16):
+    """A list of ('commit', procs, duration, release) / ('rollback', k) ops."""
+    ops = []
+    n = draw(st.integers(min_value=1, max_value=max_ops))
+    live = 0
+    for _ in range(n):
+        if live and draw(st.booleans()):
+            ops.append(("rollback", draw(st.integers(0, live - 1))))
+            live -= 1
+        else:
+            ops.append(
+                (
+                    "commit",
+                    draw(st.integers(1, CAPACITY)),
+                    draw(st.integers(1, 16)) / 2,
+                    draw(st.integers(0, 64)) / 2,
+                )
+            )
+            live += 1
+    return ops
+
+
+@settings(max_examples=60, deadline=None)
+@given(interleavings())
+def test_interleaved_commit_rollback_matches_replay(ops):
+    schedule = Schedule(CAPACITY)
+    live: list[ChainPlacement] = []
+    for job_id, op in enumerate(ops):
+        if op[0] == "commit":
+            _, procs, duration, release = op
+            cp = _place(schedule, job_id, procs, duration, release)
+            assert cp is not None  # infinite horizon: always placeable
+            schedule.commit(cp)
+            live.append(cp)
+        else:
+            _, k = op
+            schedule.rollback(live.pop(k))
+
+    # Replay only the survivors, in their original commit order, onto a
+    # fresh schedule; every aggregate must agree with the live one.
+    replay = Schedule(CAPACITY)
+    for cp in live:
+        replay.commit(cp)
+
+    assert schedule.committed_jobs == replay.committed_jobs == len(live)
+    assert schedule.committed_area == pytest.approx(replay.committed_area)
+    assert schedule.first_release == replay.first_release
+    assert schedule.last_finish == replay.last_finish
+    if live:
+        assert schedule.utilization() == pytest.approx(replay.utilization())
+        assert schedule.first_release == min(cp.release for cp in live)
+        assert schedule.last_finish == max(cp.finish for cp in live)
+    else:
+        assert schedule.utilization() == 0.0
+        assert schedule.first_release == math.inf
+        assert schedule.last_finish == -math.inf
+    assert schedule.profile == replay.profile
+    schedule.check_consistency()
+
+
+@settings(max_examples=60, deadline=None)
+@given(interleavings())
+def test_interleaving_keeps_perf_counter_balance(ops):
+    """commits - rollbacks == live placements, and the profile drains to idle."""
+    schedule = Schedule(CAPACITY)
+    live: list[ChainPlacement] = []
+    for job_id, op in enumerate(ops):
+        if op[0] == "commit":
+            cp = _place(schedule, job_id, op[1], op[2], op[3])
+            schedule.commit(cp)
+            live.append(cp)
+        else:
+            schedule.rollback(live.pop(op[1]))
+    snap = schedule.perf_snapshot()
+    assert snap.get("commits", 0) - snap.get("rollbacks", 0) == len(live)
+    # Rolling back the rest must return the machine to a fully idle profile.
+    for cp in list(live):
+        schedule.rollback(cp)
+    assert schedule.profile == Schedule(CAPACITY).profile
+    assert schedule.committed_area == pytest.approx(0.0)

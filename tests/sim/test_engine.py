@@ -59,6 +59,53 @@ class TestScheduling:
         assert seen == [1.0, 2.0]
         assert eng.pending == 1
 
+    def test_run_until_advances_clock_past_last_event(self):
+        # Regression: run(until=...) used to leave `now` at the last
+        # processed event when the queue drained early, so a later
+        # `after(...)` was anchored too early and back-to-back windowed
+        # runs observed a clock that lagged the simulated interval.
+        eng = SimulationEngine()
+        eng.on("x", lambda e, ev: None)
+        eng.at(1.0, "x")
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+
+    def test_run_until_advances_clock_on_empty_queue(self):
+        eng = SimulationEngine()
+        eng.run(until=5.0)
+        assert eng.now == 5.0
+
+    def test_run_until_windows_are_contiguous(self):
+        eng = SimulationEngine()
+        seen = []
+        eng.on("x", lambda e, ev: seen.append(ev.time))
+        eng.at(1.0, "x")
+        eng.at(12.0, "x")
+        eng.run(until=10.0)
+        assert eng.now == 10.0
+        # Scheduling relative to the window edge must land at 10 + delta.
+        eng.after(5.0, "x")
+        eng.run(until=20.0)
+        assert seen == [1.0, 12.0, 15.0]
+        assert eng.now == 20.0
+
+    def test_run_until_infinite_keeps_last_event_time(self):
+        eng = SimulationEngine()
+        eng.on("x", lambda e, ev: None)
+        eng.at(3.0, "x")
+        eng.run()  # until defaults to +inf: clock stays at the last event
+        assert eng.now == 3.0
+
+    def test_max_events_stop_does_not_jump_to_until(self):
+        eng = SimulationEngine()
+        eng.on("x", lambda e, ev: None)
+        for t in (1.0, 2.0, 3.0):
+            eng.at(t, "x")
+        eng.run(until=10.0, max_events=2)
+        # Work at or before `until` remains: the clock must not skip it.
+        assert eng.now == 2.0
+        assert eng.pending == 1
+
     def test_max_events(self):
         eng = SimulationEngine()
         eng.on("x", lambda e, ev: None)

@@ -91,3 +91,20 @@ class TestRun:
             50,
             verify=True,
         )
+
+    def test_perf_snapshot_propagated(self, params):
+        """Every run carries the hot-path instrumentation in metrics.perf."""
+        arb = QoSArbitrator(4)
+        m = simulate_arrivals(
+            arb,
+            lambda i, r: params.tunable_job(r),
+            DeterministicArrivals(10.0),
+            15,
+        )
+        assert m.perf["decision_count"] == 15
+        assert m.perf["decision_p95_us"] >= m.perf["decision_p50_us"] > 0
+        assert m.perf["commits"] == m.admitted
+        assert m.perf["profile_shift_ops"] >= m.admitted
+        assert m.perf["chains_probed"] >= m.offered
+        # Wall-clock diagnostics stay out of the experiment-result dict.
+        assert "decision_p50_us" not in m.as_dict()
