@@ -1,0 +1,108 @@
+"""End-to-end sweep benchmark: serial vs parallel vs warm-cache runner.
+
+Times the same (sweep point × system) grid three ways through
+:mod:`repro.runner`:
+
+* ``serial`` — one in-process unit at a time (the pre-runner behavior);
+* ``parallel_cold`` — fanned out over worker processes against an empty
+  content-addressed cache;
+* ``warm_cache`` — a fresh runner re-reading the now-populated cache.
+
+A SHA-256 checksum over the canonical JSON of every unit's metrics (in
+grid order) guards correctness: all three executions must be identical,
+or the benchmark raises instead of reporting.  Wall-clock ratios are the
+machine-dependent part; the committed report also records the host's CPU
+count, since parallel speedup is bounded by it (a 1-CPU container can
+show ~1× cold-parallel while the same code reaches the expected >3× on a
+4-core runner).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import time
+
+from repro.runner import ExperimentRunner, RunnerConfig, canonical_json
+from repro.sim.persistence import metrics_to_dict
+from repro.workloads.sweep import SweepConfig, SweepResult, run_sweep
+
+__all__ = ["sweep_checksum", "run_sweep_runner_bench"]
+
+
+def sweep_checksum(sweep: SweepResult) -> str:
+    """Content hash of every unit's metrics, in grid order."""
+    payload = [
+        metrics_to_dict(sweep.rows[value][system])
+        for value in sweep.values
+        for system in sweep.systems
+    ]
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def run_sweep_runner_bench(
+    n_jobs_per_point: int,
+    values: tuple[float, ...],
+    workers: int = 4,
+    seed: int = 1999,
+) -> dict:
+    """Run the three-way comparison and return the report section."""
+    config = SweepConfig(n_jobs=n_jobs_per_point, seed=seed)
+
+    t0 = time.perf_counter()
+    serial = run_sweep(
+        "interval", values, config, runner=ExperimentRunner(RunnerConfig(jobs=1))
+    )
+    t_serial = time.perf_counter() - t0
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+        cold_runner = ExperimentRunner(
+            RunnerConfig(jobs=workers, cache_dir=cache_dir)
+        )
+        t0 = time.perf_counter()
+        cold = run_sweep("interval", values, config, runner=cold_runner)
+        t_cold = time.perf_counter() - t0
+
+        warm_runner = ExperimentRunner(
+            RunnerConfig(jobs=workers, cache_dir=cache_dir)
+        )
+        t0 = time.perf_counter()
+        warm = run_sweep("interval", values, config, runner=warm_runner)
+        t_warm = time.perf_counter() - t0
+
+        cold_snap = cold_runner.perf_snapshot()
+        warm_snap = warm_runner.perf_snapshot()
+
+    checksums = {
+        "serial": sweep_checksum(serial),
+        "parallel_cold": sweep_checksum(cold),
+        "warm_cache": sweep_checksum(warm),
+    }
+    if len(set(checksums.values())) != 1:
+        raise AssertionError(f"executions disagree: {checksums}")
+
+    units = len(values) * len(serial.systems)
+    return {
+        "units": units,
+        "n_jobs_per_point": n_jobs_per_point,
+        "workers": workers,
+        "cpus": os.cpu_count(),
+        "serial_seconds": round(t_serial, 6),
+        "parallel_cold_seconds": round(t_cold, 6),
+        "warm_cache_seconds": round(t_warm, 6),
+        "speedup_parallel_cold": round(t_serial / t_cold, 3),
+        "speedup_warm_cache": round(t_serial / t_warm, 3),
+        "cold_cache_hits": cold_snap.get("cache_hits", 0),
+        "cold_cache_misses": cold_snap.get("cache_misses", 0),
+        "warm_cache_hits": warm_snap.get("cache_hits", 0),
+        "warm_cache_misses": warm_snap.get("cache_misses", 0),
+        "units_executed_pool": cold_snap.get("units_executed_pool", 0),
+        "units_executed_inline": cold_snap.get("units_executed_inline", 0),
+        "pool_chunks_dispatched": cold_snap.get("pool_chunks_dispatched", 0),
+        "pool_chunk_failures": cold_snap.get("pool_chunk_failures", 0),
+        "unit_p50_us": round(cold_snap.get("unit_p50_us", 0.0), 3),
+        "unit_p95_us": round(cold_snap.get("unit_p95_us", 0.0), 3),
+        "checksum": checksums["serial"],
+        "checksums_match": True,
+    }

@@ -11,6 +11,11 @@ Two sections:
   Poisson arrivals, the Section 5.2 arbitrator) reporting throughput,
   utilization and the per-submit wall-clock decision latency percentiles
   collected by :mod:`repro.perf`.
+* ``sweep`` — the end-to-end experiment-runner benchmark
+  (:mod:`bench_sweep_runner`): one full interval sweep executed serially,
+  in parallel over worker processes with a cold content-addressed result
+  cache, and again warm — with checksums proving all three executions
+  produced identical metrics.
 
 Usage::
 
@@ -27,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -41,6 +47,7 @@ from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
     run_area_query_bench,
     run_reserve_fit_bench,
 )
+from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
 from repro.core.arbitrator import QoSArbitrator  # noqa: E402
 from repro.core.profile import AvailabilityProfile  # noqa: E402
 from repro.sim.arrivals import PoissonArrivals  # noqa: E402
@@ -114,13 +121,24 @@ def generate(quick: bool = False) -> dict:
     """Run every section and return the report dict."""
     if quick:
         micro_n, area_n, area_resv, arrival_n = 1_500, 1_500, 600, 200
+        sweep_n, sweep_values, sweep_workers = (
+            150,
+            (15.0, 30.0, 45.0, 60.0),
+            2,
+        )
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
+        sweep_n, sweep_values, sweep_workers = (
+            2_000,
+            tuple(float(v) for v in range(10, 86, 5)),
+            4,
+        )
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "cpus": os.cpu_count(),
         "micro": {
             "reserve_fit": _pair(run_reserve_fit_bench, n_placements=micro_n),
             "area_query": _pair(
@@ -128,6 +146,9 @@ def generate(quick: bool = False) -> dict:
             ),
         },
         "arrival": run_arrival_bench(arrival_n),
+        "sweep": run_sweep_runner_bench(
+            sweep_n, sweep_values, workers=sweep_workers
+        ),
     }
 
 
@@ -154,6 +175,15 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"  decision latency: p50={report['arrival']['decision_p50_us']}us "
         f"p95={report['arrival']['decision_p95_us']}us"
+    )
+    sweep = report["sweep"]
+    print(
+        f"  sweep ({sweep['units']} units, {sweep['workers']} workers, "
+        f"{sweep['cpus']} cpus): serial={sweep['serial_seconds']}s "
+        f"parallel-cold={sweep['parallel_cold_seconds']}s "
+        f"({sweep['speedup_parallel_cold']}x) "
+        f"warm-cache={sweep['warm_cache_seconds']}s "
+        f"({sweep['speedup_warm_cache']}x), checksums match"
     )
     return 0
 

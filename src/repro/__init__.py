@@ -39,8 +39,9 @@ from repro.model import Job, TaskChain, TaskSpec
 from repro.qos import QoSAgent, ResourceContract
 from repro.sim import PoissonArrivals, RandomStreams, simulate_arrivals
 from repro.workloads import SweepConfig, SyntheticParams, run_point, run_sweep
+from repro.runner import ExperimentRunner, RunnerConfig, unit_key
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -68,4 +69,7 @@ __all__ = [
     "SweepConfig",
     "run_point",
     "run_sweep",
+    "ExperimentRunner",
+    "RunnerConfig",
+    "unit_key",
 ]

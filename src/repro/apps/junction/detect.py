@@ -127,14 +127,99 @@ def _orientation_runs(
         angles, bins=bins, range=(0.0, np.pi), weights=magnitude
     )
     occupied = hist > occupancy * hist.max()
-    runs = 0
-    prev = bool(occupied[-1])  # circular adjacency
-    for flag in occupied:
-        if flag and not prev:
-            runs += 1
-        prev = bool(flag)
-    if runs == 0 and occupied.all():
-        runs = 1
+    return int(_count_circular_runs(occupied[np.newaxis, :])[0])
+
+
+def _count_circular_runs(occupied: np.ndarray) -> np.ndarray:
+    """Circularly-contiguous occupied runs per row of a boolean array.
+
+    A run starts at each rising edge of the wrapped sequence; a fully
+    occupied row has no edges but is one run.
+    """
+    rising = occupied & ~np.roll(occupied, 1, axis=1)
+    runs = rising.sum(axis=1).astype(np.int64)
+    runs[(runs == 0) & occupied.all(axis=1)] = 1
+    return runs
+
+
+def _histogram_bin_indices(values: np.ndarray, bins: int, hi: float) -> np.ndarray:
+    """Uniform-bin indices over ``[0, hi]`` matching ``np.histogram``.
+
+    Replicates numpy's fast path exactly — truncation plus edge
+    corrections against the explicit edge array — so the batched
+    orientation histograms are bitwise identical to per-point
+    ``np.histogram`` calls.
+    """
+    edges = np.linspace(0.0, hi, bins + 1)
+    indices = (values * (bins / hi)).astype(np.intp)
+    np.clip(indices, 0, bins - 1, out=indices)
+    indices[values < edges[indices]] -= 1
+    bump = (values >= edges[indices + 1]) & (indices != bins - 1)
+    indices[bump] += 1
+    return indices
+
+
+def _orientation_runs_batched(
+    pixels: np.ndarray,
+    candidates: np.ndarray,
+    radius: int = 5,
+    bins: int = 12,
+    occupancy: float = 0.35,
+) -> np.ndarray:
+    """:func:`_orientation_runs` for every candidate at once.
+
+    Interior candidates (full ``(2*radius+1)``-square windows) are
+    processed as one strided batch: windows are gathered with
+    ``sliding_window_view``, gradients taken per-window (``np.gradient``
+    broadcasts over the batch axis, keeping the window-local one-sided
+    edge differences of the scalar path), and all weighted orientation
+    histograms are accumulated in a single ``bincount`` over combined
+    (candidate, bin) indices.  Candidates whose windows are clipped by
+    the image border fall back to the scalar path — there are at most
+    ``O(radius * perimeter)`` of them.
+    """
+    n = candidates.shape[0]
+    runs = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return runs
+    h, w = pixels.shape
+    rows = candidates[:, 0].astype(np.intp)
+    cols = candidates[:, 1].astype(np.intp)
+    side = 2 * radius + 1
+    interior = (
+        (rows >= radius)
+        & (rows + radius < h)
+        & (cols >= radius)
+        & (cols + radius < w)
+    )
+    for i in np.nonzero(~interior)[0]:
+        runs[i] = _orientation_runs(
+            pixels, int(rows[i]), int(cols[i]), radius, bins, occupancy
+        )
+    if not interior.any():
+        return runs
+    idx = np.nonzero(interior)[0]
+    img = pixels.astype(np.float64)
+    windows = np.lib.stride_tricks.sliding_window_view(img, (side, side))[
+        rows[idx] - radius, cols[idx] - radius
+    ]
+    gy, gx = np.gradient(windows, axis=(1, 2))
+    magnitude = np.hypot(gx, gy)
+    flat_mag = magnitude.reshape(len(idx), -1)
+    angles = np.mod(np.arctan2(gy, gx), np.pi).reshape(len(idx), -1)
+    bin_idx = _histogram_bin_indices(angles.ravel(), bins, np.pi).reshape(
+        len(idx), -1
+    )
+    owner = np.repeat(np.arange(len(idx), dtype=np.intp), flat_mag.shape[1])
+    hists = np.bincount(
+        (owner * bins + bin_idx.ravel()),
+        weights=flat_mag.ravel(),
+        minlength=len(idx) * bins,
+    ).reshape(len(idx), bins)
+    occupied = hists > occupancy * hists.max(axis=1, keepdims=True)
+    batch_runs = _count_circular_runs(occupied)
+    batch_runs[flat_mag.max(axis=1) < 1e-9] = 0
+    runs[idx] = batch_runs
     return runs
 
 
@@ -164,15 +249,11 @@ def junction_points(
     candidates = _local_maxima(response, mask, threshold, nms_radius)
     if min_orientations <= 1 or candidates.size == 0:
         return candidates
-    keep = [
-        point
-        for point in candidates
-        if _orientation_runs(smoothed, int(point[0]), int(point[1]))
-        >= min_orientations
-    ]
-    if not keep:
+    runs = _orientation_runs_batched(smoothed, candidates)
+    keep = candidates[runs >= min_orientations]
+    if keep.size == 0:
         return np.empty((0, 2), dtype=np.int64)
-    return np.asarray(keep, dtype=np.int64)
+    return np.ascontiguousarray(keep, dtype=np.int64)
 
 
 def detect_junctions(

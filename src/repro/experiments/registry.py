@@ -22,7 +22,7 @@ from repro.experiments.junction_fig2 import render_fig2, run_fig2
 from repro.experiments.quality import render_quality, run_quality_degradation
 from repro.experiments.survival import render_survival, run_survival
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_experiment", "unknown_experiments"]
 
 Runner = Callable[[], str]
 
@@ -43,6 +43,11 @@ EXPERIMENTS: dict[str, Runner] = {
     "ablation-conservative": ablations.ablation_conservative,
     "ablation-bursty": ablations.ablation_bursty,
 }
+
+
+def unknown_experiments(experiment_ids: list[str]) -> list[str]:
+    """The subset of ``experiment_ids`` not present in the registry."""
+    return [e for e in experiment_ids if e not in EXPERIMENTS]
 
 
 def run_experiment(experiment_id: str) -> str:

@@ -1,0 +1,98 @@
+"""On-disk content-addressed cache of per-unit run metrics.
+
+Layout: ``<root>/<key[:2]>/<key>.json`` — one JSON file per work unit,
+sharded by the first hash byte so a large cache never puts tens of
+thousands of entries in one directory.  Each file stores the unit key it
+was written under, a schema version, a small provenance block (the
+serialized config and system name, for human inspection and debugging)
+and the metrics payload produced by
+:func:`repro.sim.persistence.metrics_to_dict`.
+
+Robustness rules:
+
+* writes are atomic (temp file + ``os.replace``) so a killed run never
+  leaves a half-written entry;
+* any unreadable, unparsable, version-mismatched or key-mismatched entry
+  is treated as a miss (and counted under ``cache_errors``) — a corrupt
+  cache degrades to recomputation, never to wrong results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.sim.metrics import RunMetrics
+from repro.sim.persistence import metrics_from_dict, metrics_to_dict
+
+__all__ = ["CACHE_VERSION", "ResultCache"]
+
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """Content-addressed store: unit key → :class:`RunMetrics`.
+
+    Counters (``hits``, ``misses``, ``stores``, ``errors``) accumulate
+    over the cache object's lifetime and surface in runner perf
+    snapshots and the benchmark report.
+    """
+
+    __slots__ = ("root", "hits", "misses", "stores", "errors")
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.errors = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (whether or not it exists)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunMetrics | None:
+        """Look up one unit; ``None`` (a miss) on absence or corruption."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("cache_version") != CACHE_VERSION:
+                raise ValueError(f"cache version {payload.get('cache_version')!r}")
+            if payload.get("key") != key:
+                raise ValueError("stored key does not match file address")
+            metrics = metrics_from_dict(payload["metrics"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt/foreign entry: recompute rather than trust it.
+            self.errors += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def put(self, key: str, metrics: RunMetrics, meta: dict[str, object] | None = None) -> None:
+        """Store one unit's metrics atomically under its content address."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, object] = {
+            "cache_version": CACHE_VERSION,
+            "key": key,
+            "meta": meta or {},
+            "metrics": metrics_to_dict(metrics),
+        }
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(payload, indent=2) + "\n")
+        os.replace(tmp, path)
+        self.stores += 1
+
+    def stats(self) -> dict[str, int]:
+        """Flat counter snapshot for perf reports."""
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_stores": self.stores,
+            "cache_errors": self.errors,
+        }

@@ -1,0 +1,261 @@
+"""The parallel experiment runner: dedup → cache → fan-out → merge.
+
+:class:`ExperimentRunner` executes batches of work units (one
+:class:`~repro.workloads.sweep.SweepConfig` × system each) with three
+layers of savings, all of them invisible in the results:
+
+1. **Dedup** — units with equal content hashes inside one batch are
+   simulated once (overlapping sweeps cross at their default point, and
+   e.g. the Figure-6a interval grid is a subset of Figure 5(a)'s).
+2. **Cache** — an optional on-disk :class:`~repro.runner.cache.ResultCache`
+   memoizes every unit across runs and across experiments.
+3. **Fan-out** — cache misses are dispatched to a
+   :class:`~concurrent.futures.ProcessPoolExecutor` in contiguous chunks
+   (~4 chunks per worker for load balancing).  Chunks that time out or
+   lose their worker are retried on a fresh pool up to
+   :attr:`RunnerConfig.retries` times, then fall back to in-process
+   execution, so a dying pool degrades to the serial path instead of
+   failing the experiment.
+
+Determinism: results are merged **by unit key in submission order**,
+never completion order, and common-random-numbers pairing is carried by
+the seed inside each unit's config — so parallel, serial, deduped and
+cached executions of the same batch produce identical metrics (floats
+survive the JSON hop exactly: Python's float repr is shortest
+round-trip).  Genuine simulation errors are *not* swallowed by the
+fallback: an in-process re-run re-raises them synchronously.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.perf import PerfRecorder
+from repro.runner.cache import ResultCache
+from repro.runner.key import sweep_config_to_dict, unit_key
+from repro.runner.worker import run_unit_chunk
+from repro.sim.metrics import RunMetrics
+from repro.sim.persistence import metrics_from_dict
+from repro.workloads.sweep import SweepConfig, run_point
+
+__all__ = ["RunnerConfig", "ExperimentRunner"]
+
+#: Target chunks per worker: small enough to amortize dispatch, large
+#: enough that an unlucky long chunk cannot serialize the whole batch.
+_CHUNKS_PER_WORKER = 4
+
+
+@dataclass(frozen=True, slots=True)
+class RunnerConfig:
+    """Execution policy for one :class:`ExperimentRunner`.
+
+    ``jobs <= 1`` means pure in-process execution (no pool is ever
+    created); ``cache_dir=None`` disables memoization; ``timeout`` is
+    per *chunk*, in wall-clock seconds (``None`` = wait forever);
+    ``retries`` counts fresh-pool retry rounds after a chunk failure
+    before falling back in-process.
+    """
+
+    jobs: int = 1
+    cache_dir: str | Path | None = None
+    chunk_size: int | None = None
+    timeout: float | None = None
+    retries: int = 1
+
+
+class ExperimentRunner:
+    """Executes work-unit batches; owns the cache and perf counters."""
+
+    def __init__(
+        self,
+        config: RunnerConfig | None = None,
+        *,
+        _chunk_fn: Callable[..., list[dict[str, object]]] = run_unit_chunk,
+    ) -> None:
+        self.config = config or RunnerConfig()
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir is not None
+            else None
+        )
+        self.perf = PerfRecorder()
+        # Pool dispatch target; in-process fallback always runs the real
+        # simulation so fault-injecting stubs (tests) still yield results.
+        self._chunk_fn = _chunk_fn
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def run_units(
+        self, units: Sequence[tuple[SweepConfig, str]]
+    ) -> list[RunMetrics]:
+        """Execute every unit; results align 1:1 with ``units`` order."""
+        units = list(units)
+        self.perf.count("units_total", len(units))
+        keys = [unit_key(config, system) for config, system in units]
+
+        # Dedup: first occurrence wins; duplicates reuse its result.
+        first_of: dict[str, int] = {}
+        for i, key in enumerate(keys):
+            first_of.setdefault(key, i)
+        unique = list(first_of)
+        self.perf.count("dedup_hits", len(units) - len(unique))
+
+        results: dict[str, RunMetrics] = {}
+        pending: list[str] = []
+        if self.cache is not None:
+            for key in unique:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[key] = cached
+                else:
+                    pending.append(key)
+            self.perf.count("cache_hits", len(unique) - len(pending))
+            self.perf.count("cache_misses", len(pending))
+        else:
+            pending = unique
+
+        executed = self._execute(
+            [(key, *units[first_of[key]]) for key in pending]
+        )
+        results.update(executed)
+
+        if self.cache is not None:
+            for key in pending:
+                config, system = units[first_of[key]]
+                self.cache.put(
+                    key,
+                    results[key],
+                    meta={
+                        "system": system,
+                        "config": sweep_config_to_dict(config),
+                    },
+                )
+
+        return [results[key] for key in keys]
+
+    def run_unit(self, config: SweepConfig, system: str) -> RunMetrics:
+        """Single-unit convenience wrapper around :meth:`run_units`."""
+        return self.run_units([(config, system)])[0]
+
+    def perf_snapshot(self) -> dict[str, float | int]:
+        """Runner counters + per-unit latency percentiles + cache stats."""
+        out = self.perf.snapshot()
+        if self.cache is not None:
+            out.update(self.cache.stats())
+        return out
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self, work: list[tuple[str, SweepConfig, str]]
+    ) -> dict[str, RunMetrics]:
+        """Run every (key, config, system) unit, pooled when configured."""
+        if not work:
+            return {}
+        results: dict[str, RunMetrics] = {}
+        if self.config.jobs > 1 and len(work) > 1:
+            chunks = self._chunked(work)
+            done = self._run_chunks_pooled(chunks)
+            for index, chunk_results in done.items():
+                for item in chunk_results:
+                    results[str(item["key"])] = metrics_from_dict(item["metrics"])  # type: ignore[arg-type]
+                    self.perf.observe("unit", float(item["seconds"]))  # type: ignore[arg-type]
+                    self.perf.count("units_executed_pool")
+            leftover = [
+                unit
+                for index, chunk in enumerate(chunks)
+                if index not in done
+                for unit in chunk_units(chunk)
+            ]
+            if leftover:
+                self.perf.count("pool_fallback_units", len(leftover))
+        else:
+            leftover = work
+        for key, config, system in leftover:
+            t0 = time.perf_counter()
+            metrics = run_point(config, system)
+            self.perf.observe("unit", time.perf_counter() - t0)
+            self.perf.count("units_executed_inline")
+            results[key] = metrics
+        return results
+
+    def _chunked(
+        self, work: list[tuple[str, SweepConfig, str]]
+    ) -> list[list[dict[str, object]]]:
+        """Split units into contiguous payload chunks for dispatch."""
+        size = self.config.chunk_size or max(
+            1, math.ceil(len(work) / (self.config.jobs * _CHUNKS_PER_WORKER))
+        )
+        payloads = [
+            {
+                "key": key,
+                "config": sweep_config_to_dict(config),
+                "system": system,
+                "_unit": (key, config, system),
+            }
+            for key, config, system in work
+        ]
+        return [payloads[i : i + size] for i in range(0, len(payloads), size)]
+
+    def _run_chunks_pooled(
+        self, chunks: list[list[dict[str, object]]]
+    ) -> dict[int, list[dict[str, object]]]:
+        """Dispatch chunks to a process pool; retry failures on a fresh one.
+
+        Returns per-chunk results for whatever succeeded; chunks missing
+        from the mapping are the caller's to run in-process.  The
+        ``_unit`` bookkeeping field never crosses the process boundary.
+        """
+        wire = [
+            [{k: v for k, v in p.items() if k != "_unit"} for p in chunk]
+            for chunk in chunks
+        ]
+        done: dict[int, list[dict[str, object]]] = {}
+        remaining = set(range(len(chunks)))
+        for attempt in range(self.config.retries + 1):
+            if not remaining:
+                break
+            if attempt:
+                self.perf.count("pool_retries")
+            pool: ProcessPoolExecutor | None = None
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=min(self.config.jobs, len(remaining))
+                )
+                futures = {
+                    pool.submit(self._chunk_fn, wire[index]): index
+                    for index in sorted(remaining)
+                }
+                self.perf.count("pool_chunks_dispatched", len(futures))
+                for future, index in futures.items():
+                    done[index] = future.result(timeout=self.config.timeout)
+                    remaining.discard(index)
+            except (FutureTimeoutError, BrokenExecutor, OSError):
+                # Worker death or a stuck chunk: abandon this pool and
+                # retry what's left (fresh pool or in-process fallback).
+                self.perf.count("pool_chunk_failures")
+            except Exception:
+                # A genuine error from the chunk body; the in-process
+                # fallback will re-raise it with a clean traceback.
+                self.perf.count("pool_chunk_failures")
+            finally:
+                if pool is not None:
+                    pool.shutdown(wait=False, cancel_futures=True)
+        return done
+
+
+def chunk_units(
+    chunk: list[dict[str, object]],
+) -> list[tuple[str, SweepConfig, str]]:
+    """Recover the original unit tuples from a payload chunk."""
+    return [payload["_unit"] for payload in chunk]  # type: ignore[misc]

@@ -1,0 +1,111 @@
+"""Canonical serialization and content hashing of experiment work units.
+
+A *work unit* is the atom of experiment execution: one
+:class:`~repro.workloads.sweep.SweepConfig` simulated under one task
+system.  Its **unit key** is the SHA-256 digest of a canonical JSON
+encoding of every field that influences the simulation outcome (the
+synthetic-job parameters, machine size, arrival interval, job count,
+seed, task model, strategy/policy enums and the verify switch), plus the
+system name and a format version.  Two units collide exactly when they
+are guaranteed to produce identical :class:`~repro.sim.metrics.RunMetrics`,
+which is what makes the key safe to use as a content address for the
+result cache and as a dedup handle inside one batch.
+
+Canonical form: JSON with sorted keys, no whitespace, ``allow_nan=False``
+(a NaN in a config is a bug, not a cache key).  Python's ``repr``-based
+float encoding is shortest-round-trip, so equal doubles always encode to
+the same text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Mapping
+
+from repro.core.malleable import MalleableStrategy
+from repro.core.policies import TieBreakPolicy
+from repro.errors import ConfigurationError
+from repro.workloads.sweep import SweepConfig
+from repro.workloads.synthetic import SyntheticParams
+
+__all__ = [
+    "KEY_VERSION",
+    "canonical_json",
+    "sweep_config_to_dict",
+    "sweep_config_from_dict",
+    "unit_key",
+]
+
+#: Bump when the meaning of a serialized config (or the simulation it
+#: feeds) changes incompatibly; old cache entries then miss instead of
+#: resurfacing stale results.
+KEY_VERSION = 1
+
+
+def canonical_json(obj: object) -> str:
+    """Deterministic JSON text: sorted keys, compact separators, no NaN."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+def _params_to_dict(params: SyntheticParams) -> dict[str, object]:
+    return {
+        "x": params.x,
+        "t": params.t,
+        "alpha": params.alpha,
+        "laxity": params.laxity,
+        "concurrency_factor": params.concurrency_factor,
+    }
+
+
+def _params_from_dict(data: Mapping[str, object]) -> SyntheticParams:
+    return SyntheticParams(
+        x=int(data["x"]),  # type: ignore[arg-type]
+        t=float(data["t"]),  # type: ignore[arg-type]
+        alpha=float(data["alpha"]),  # type: ignore[arg-type]
+        laxity=float(data["laxity"]),  # type: ignore[arg-type]
+        concurrency_factor=float(data["concurrency_factor"]),  # type: ignore[arg-type]
+    )
+
+
+def sweep_config_to_dict(config: SweepConfig) -> dict[str, object]:
+    """JSON-able encoding of every outcome-relevant config field."""
+    return {
+        "params": _params_to_dict(config.params),
+        "processors": config.processors,
+        "interval": config.interval,
+        "n_jobs": config.n_jobs,
+        "seed": config.seed,
+        "malleable": config.malleable,
+        "strategy": config.strategy.value,
+        "policy": config.policy.value,
+        "verify": config.verify,
+    }
+
+
+def sweep_config_from_dict(data: Mapping[str, object]) -> SweepConfig:
+    """Reconstruct a config serialized by :func:`sweep_config_to_dict`."""
+    try:
+        return SweepConfig(
+            params=_params_from_dict(data["params"]),  # type: ignore[arg-type]
+            processors=int(data["processors"]),  # type: ignore[arg-type]
+            interval=float(data["interval"]),  # type: ignore[arg-type]
+            n_jobs=int(data["n_jobs"]),  # type: ignore[arg-type]
+            seed=int(data["seed"]),  # type: ignore[arg-type]
+            malleable=bool(data["malleable"]),
+            strategy=MalleableStrategy(data["strategy"]),
+            policy=TieBreakPolicy(data["policy"]),
+            verify=bool(data["verify"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed sweep-config payload: {exc}") from exc
+
+
+def unit_key(config: SweepConfig, system: str) -> str:
+    """SHA-256 content address of one (config, system) work unit."""
+    payload = {
+        "version": KEY_VERSION,
+        "system": system,
+        "config": sweep_config_to_dict(config),
+    }
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

@@ -1,0 +1,49 @@
+"""Subprocess entry points for the parallel experiment runner.
+
+Everything here must be importable by name in a worker process (top-level
+functions only — ``ProcessPoolExecutor`` pickles the function reference,
+not its code).  A chunk is a list of unit payloads; the worker returns
+one result dict per payload carrying the serialized metrics and the
+unit's own wall-clock execution time, so the parent can record true
+per-unit latency percentiles regardless of chunking.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Mapping, Sequence
+
+from repro.runner.key import sweep_config_from_dict
+from repro.sim.persistence import metrics_to_dict
+from repro.workloads.sweep import run_point
+
+__all__ = ["run_unit_chunk"]
+
+
+def run_unit_chunk(payloads: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Execute one chunk of work units in the current process."""
+    out: list[dict[str, object]] = []
+    for payload in payloads:
+        config = sweep_config_from_dict(payload["config"])  # type: ignore[arg-type]
+        t0 = time.perf_counter()
+        metrics = run_point(config, str(payload["system"]))
+        out.append(
+            {
+                "key": payload["key"],
+                "metrics": metrics_to_dict(metrics),
+                "seconds": time.perf_counter() - t0,
+            }
+        )
+    return out
+
+
+def _crashing_chunk(payloads: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Test hook: die like a segfaulting worker (breaks the pool)."""
+    os._exit(17)
+
+
+def _slow_chunk(payloads: Sequence[Mapping[str, object]]) -> list[dict[str, object]]:
+    """Test hook: overrun any reasonable per-chunk timeout."""
+    time.sleep(5.0)
+    return run_unit_chunk(payloads)

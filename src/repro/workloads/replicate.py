@@ -14,7 +14,7 @@ from typing import Mapping, Sequence
 
 from repro.analysis.stats import mean_ci
 from repro.errors import WorkloadError
-from repro.workloads.sweep import SweepConfig, run_point
+from repro.workloads.sweep import SweepConfig
 
 __all__ = ["ReplicatedMetric", "ReplicatedPoint", "replicate_point"]
 
@@ -64,24 +64,36 @@ def replicate_point(
     systems: Sequence[str] = ("tunable", "shape1", "shape2"),
     metrics: Sequence[str] = ("throughput", "utilization"),
     confidence: float = 0.95,
+    runner: "object | None" = None,
 ) -> ReplicatedPoint:
     """Run one configuration point across several seeds.
 
     All systems share each seed's arrival sequence (common random numbers),
-    so :meth:`ReplicatedPoint.benefit_ci` is a paired comparison.
+    so :meth:`ReplicatedPoint.benefit_ci` is a paired comparison — the
+    pairing is carried by the seed inside each work unit's config, so
+    running units in parallel or from cache (``runner``; see
+    :func:`repro.workloads.sweep.run_sweep`) preserves it exactly.
     """
+    from repro.runner import get_default_runner  # local: avoids an import cycle
+
     if len(seeds) < 1:
         raise WorkloadError("replication needs at least one seed")
     if len(set(seeds)) != len(seeds):
         raise WorkloadError(f"duplicate seeds: {list(seeds)}")
+    active = runner if runner is not None else get_default_runner()
+    units = [
+        (replace(config, seed=seed), system)
+        for seed in seeds
+        for system in systems
+    ]
+    runs = active.run_units(units)  # type: ignore[attr-defined]
     samples: dict[str, dict[str, list[float]]] = {
         m: {s: [] for s in systems} for m in metrics
     }
-    for seed in seeds:
-        seeded = replace(config, seed=seed)
+    flat_runs = iter(runs)
+    for _seed in seeds:
         for system in systems:
-            run = run_point(seeded, system)
-            flat = run.as_dict()
+            flat = next(flat_runs).as_dict()
             for metric in metrics:
                 samples[metric][system].append(float(flat[metric]))
     out: dict[str, dict[str, ReplicatedMetric]] = {}

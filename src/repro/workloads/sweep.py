@@ -130,20 +130,33 @@ def run_sweep(
     values: Sequence[float],
     config: SweepConfig | None = None,
     systems: Sequence[str] = SYSTEMS,
+    runner: "object | None" = None,
 ) -> SweepResult:
     """Run every system at every value of the swept parameter.
 
     All systems at a given value share the same arrival sequence (identical
     seed and interval); different values reuse the same seed too, so the
     interval axis is the only source of arrival variation along a sweep.
+
+    ``runner`` is an :class:`repro.runner.ExperimentRunner`; the default
+    is the process-wide runner (serial and uncached unless the CLI or a
+    caller installed another).  Every (value, system) pair is one
+    independent work unit, so parallel execution and caching cannot
+    perturb common-random-numbers pairing: each unit's arrivals depend
+    only on its own config.  Units are merged back in grid order, making
+    the result identical however they were scheduled.
     """
+    from repro.runner import get_default_runner  # local: avoids an import cycle
+
     config = config or SweepConfig()
+    active = runner if runner is not None else get_default_runner()
+    point_cfgs = [config.with_axis(axis, value) for value in values]
+    units = [(cfg, system) for cfg in point_cfgs for system in systems]
+    metrics = active.run_units(units)  # type: ignore[attr-defined]
     rows: dict[float, dict[str, RunMetrics]] = {}
+    flat = iter(metrics)
     for value in values:
-        point_cfg = config.with_axis(axis, value)
-        rows[float(value)] = {
-            system: run_point(point_cfg, system) for system in systems
-        }
+        rows[float(value)] = {system: next(flat) for system in systems}
     return SweepResult(
         axis=axis,
         values=tuple(float(v) for v in values),

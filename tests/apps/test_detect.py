@@ -76,6 +76,72 @@ class TestOrientationRuns:
         assert _orientation_runs(np.full((41, 41), 0.5), 20, 20) == 0
 
 
+class TestOrientationRunsBatched:
+    """The vectorized batch path must match the scalar path exactly."""
+
+    def test_matches_scalar_everywhere_including_borders(self):
+        from scipy import ndimage
+
+        from repro.apps.junction.detect import (
+            _orientation_runs,
+            _orientation_runs_batched,
+        )
+
+        rng = np.random.default_rng(11)
+        smoothed = ndimage.gaussian_filter(rng.random((48, 53)), 1.2)
+        rr, cc = np.meshgrid(np.arange(48), np.arange(53), indexing="ij")
+        candidates = np.stack([rr.ravel(), cc.ravel()], axis=1)
+        batched = _orientation_runs_batched(smoothed, candidates)
+        scalar = np.array(
+            [_orientation_runs(smoothed, int(r), int(c)) for r, c in candidates]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_empty_candidates(self):
+        from repro.apps.junction.detect import _orientation_runs_batched
+
+        runs = _orientation_runs_batched(
+            np.zeros((32, 32)), np.empty((0, 2), dtype=np.int64)
+        )
+        assert runs.shape == (0,)
+
+    def test_flat_image_all_zero(self):
+        from repro.apps.junction.detect import _orientation_runs_batched
+
+        candidates = np.array([[10, 10], [2, 2], [20, 30]])
+        runs = _orientation_runs_batched(np.full((32, 32), 0.5), candidates)
+        np.testing.assert_array_equal(runs, 0)
+
+    def test_junction_points_matches_per_point_loop(self):
+        from scipy import ndimage
+
+        from repro.apps.junction.detect import (
+            _local_maxima,
+            _orientation_runs,
+        )
+
+        img = synthetic_image(size=128, n_junctions=6, seed=9)
+        mask = np.ones((128, 128), bool)
+        points = junction_points(img.pixels, mask)
+        # Reference: the pre-vectorization per-candidate loop.
+        smoothed = ndimage.gaussian_filter(img.pixels.astype(np.float64), 1.2)
+        response = harris_response(smoothed, window=5)
+        candidates = _local_maxima(
+            response, mask, 0.1 * float(response.max()), 9
+        )
+        keep = [
+            p
+            for p in candidates
+            if _orientation_runs(smoothed, int(p[0]), int(p[1])) >= 2
+        ]
+        reference = (
+            np.asarray(keep, dtype=np.int64)
+            if keep
+            else np.empty((0, 2), dtype=np.int64)
+        )
+        np.testing.assert_array_equal(points, reference)
+
+
 class TestJunctionPoints:
     def test_empty_mask(self):
         img = synthetic_image(size=64, n_junctions=2, seed=1)

@@ -1,0 +1,62 @@
+"""Result-cache round trips, corruption handling and counters."""
+
+from repro.runner import ResultCache, unit_key
+from repro.workloads.sweep import SweepConfig, run_point
+
+
+def _metrics():
+    return run_point(SweepConfig(n_jobs=60), "tunable")
+
+
+class TestResultCache:
+    def test_round_trip_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = unit_key(SweepConfig(n_jobs=60), "tunable")
+        metrics = _metrics()
+        cache.put(key, metrics, meta={"system": "tunable"})
+        loaded = cache.get(key)
+        assert loaded == metrics  # perf is compare=False by design
+        assert loaded.chain_usage == dict(metrics.chain_usage)
+
+    def test_miss_on_absent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.stats()["cache_misses"] == 1
+        assert cache.stats()["cache_hits"] == 0
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = unit_key(SweepConfig(n_jobs=60), "shape1")
+        cache.put(key, _metrics())
+        assert cache.path_for(key).exists()
+        assert cache.path_for(key).parent.name == key[:2]
+
+    def test_corrupt_entry_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = unit_key(SweepConfig(n_jobs=60), "tunable")
+        cache.put(key, _metrics())
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats()["cache_errors"] == 1
+
+    def test_key_mismatch_is_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = unit_key(SweepConfig(n_jobs=60), "tunable")
+        other = unit_key(SweepConfig(n_jobs=60), "shape2")
+        cache.put(key, _metrics())
+        # Simulate a mis-filed entry: content copied to another address.
+        cache.path_for(other).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(other).write_text(cache.path_for(key).read_text())
+        assert cache.get(other) is None
+
+    def test_counters_accumulate(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = unit_key(SweepConfig(n_jobs=60), "tunable")
+        cache.put(key, _metrics())
+        cache.get(key)
+        cache.get(key)
+        cache.get("f" * 64)
+        stats = cache.stats()
+        assert stats["cache_hits"] == 2
+        assert stats["cache_misses"] == 1
+        assert stats["cache_stores"] == 1

@@ -1,0 +1,82 @@
+"""Unit-key hashing: determinism, round-trips, field sensitivity."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.malleable import MalleableStrategy
+from repro.core.policies import TieBreakPolicy
+from repro.errors import ConfigurationError
+from repro.runner import sweep_config_from_dict, sweep_config_to_dict, unit_key
+from repro.workloads.sweep import SweepConfig
+
+
+class TestConfigRoundTrip:
+    def test_default_round_trip(self):
+        cfg = SweepConfig()
+        assert sweep_config_from_dict(sweep_config_to_dict(cfg)) == cfg
+
+    def test_nondefault_round_trip(self):
+        cfg = SweepConfig(
+            processors=48,
+            interval=12.5,
+            n_jobs=777,
+            seed=31,
+            malleable=True,
+            strategy=MalleableStrategy.EARLIEST_FINISH,
+            policy=TieBreakPolicy.PREFIX,
+            verify=False,
+        )
+        back = sweep_config_from_dict(sweep_config_to_dict(cfg))
+        assert back == cfg
+        assert back.strategy is MalleableStrategy.EARLIEST_FINISH
+        assert back.policy is TieBreakPolicy.PREFIX
+
+    def test_json_survives_params(self):
+        cfg = replace(SweepConfig(), params=SweepConfig().params.with_alpha(0.25))
+        assert sweep_config_from_dict(sweep_config_to_dict(cfg)) == cfg
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(ConfigurationError, match="malformed"):
+            sweep_config_from_dict({"processors": 4})
+
+
+class TestUnitKey:
+    def test_deterministic(self):
+        cfg = SweepConfig()
+        assert unit_key(cfg, "tunable") == unit_key(SweepConfig(), "tunable")
+
+    def test_hex_sha256(self):
+        key = unit_key(SweepConfig(), "shape1")
+        assert len(key) == 64
+        int(key, 16)  # hex
+
+    def test_system_changes_key(self):
+        cfg = SweepConfig()
+        assert unit_key(cfg, "tunable") != unit_key(cfg, "shape1")
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"processors": 32},
+            {"interval": 31.0},
+            {"n_jobs": 123},
+            {"seed": 7},
+            {"malleable": True},
+            {"strategy": MalleableStrategy.EARLIEST_FINISH},
+            {"policy": TieBreakPolicy.FIRST},
+            {"verify": False},
+        ],
+    )
+    def test_every_config_field_changes_key(self, change):
+        base = SweepConfig()
+        assert unit_key(base, "tunable") != unit_key(
+            replace(base, **change), "tunable"
+        )
+
+    @pytest.mark.parametrize("axis,value", [("laxity", 0.3), ("alpha", 0.25)])
+    def test_params_fields_change_key(self, axis, value):
+        base = SweepConfig()
+        assert unit_key(base, "tunable") != unit_key(
+            base.with_axis(axis, value), "tunable"
+        )

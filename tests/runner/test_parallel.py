@@ -1,0 +1,165 @@
+"""Parallel/serial/cached equivalence and failure-path behavior.
+
+The contract under test: however a batch of work units is executed —
+in-process, fanned out over worker processes, deduplicated, memoized,
+or rescued from a dying pool — the merged results are identical.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.runner import ExperimentRunner, RunnerConfig, using_runner
+from repro.runner.worker import _crashing_chunk, _slow_chunk
+from repro.workloads.replicate import replicate_point
+from repro.workloads.sweep import SweepConfig, run_sweep
+
+#: Small but non-trivial: every unit admits jobs (no NaN metrics).
+CFG = SweepConfig(n_jobs=120)
+VALUES = (20.0, 35.0, 50.0)
+
+
+def _rows(sweep):
+    return [
+        sweep.rows[v][s] for v in sweep.values for s in sweep.systems
+    ]
+
+
+class TestParallelSerialEquivalence:
+    def test_sweep_jobs1_vs_jobs4(self, tmp_path):
+        serial = run_sweep(
+            "interval", VALUES, CFG, runner=ExperimentRunner(RunnerConfig(jobs=1))
+        )
+        parallel = run_sweep(
+            "interval",
+            VALUES,
+            CFG,
+            runner=ExperimentRunner(RunnerConfig(jobs=4, cache_dir=tmp_path)),
+        )
+        assert serial.values == parallel.values
+        assert serial.systems == parallel.systems
+        assert _rows(serial) == _rows(parallel)
+
+    def test_sweep_series_bitwise_equal(self, tmp_path):
+        serial = run_sweep("interval", VALUES, CFG)
+        parallel = run_sweep(
+            "interval",
+            VALUES,
+            CFG,
+            runner=ExperimentRunner(RunnerConfig(jobs=2, cache_dir=tmp_path)),
+        )
+        for system in serial.systems:
+            for metric in ("utilization", "throughput", "mean_response"):
+                assert serial.series(system, metric) == parallel.series(
+                    system, metric
+                )
+
+    def test_replicate_point_equivalence(self, tmp_path):
+        seeds = (1, 2, 3)
+        serial = replicate_point(CFG, seeds)
+        parallel = replicate_point(
+            CFG,
+            seeds,
+            runner=ExperimentRunner(RunnerConfig(jobs=4, cache_dir=tmp_path)),
+        )
+        assert serial.seeds == parallel.seeds
+        for metric, systems in serial.metrics.items():
+            for system, stat in systems.items():
+                assert stat == parallel.metrics[metric][system]
+
+    def test_default_runner_context(self, tmp_path):
+        runner = ExperimentRunner(RunnerConfig(jobs=2, cache_dir=tmp_path))
+        with using_runner(runner):
+            sweep = run_sweep("interval", VALUES[:2], CFG)
+        assert runner.perf_snapshot()["units_total"] == 2 * len(sweep.systems)
+
+
+class TestCacheBehavior:
+    def test_second_run_all_hits_and_identical(self, tmp_path):
+        cold_runner = ExperimentRunner(RunnerConfig(jobs=1, cache_dir=tmp_path))
+        cold = run_sweep("interval", VALUES, CFG, runner=cold_runner)
+        warm_runner = ExperimentRunner(RunnerConfig(jobs=1, cache_dir=tmp_path))
+        warm = run_sweep("interval", VALUES, CFG, runner=warm_runner)
+        assert _rows(cold) == _rows(warm)
+        snap = warm_runner.perf_snapshot()
+        n_units = len(VALUES) * len(cold.systems)
+        assert snap["cache_hits"] == n_units
+        assert snap["cache_misses"] == 0
+        assert snap.get("units_executed_inline", 0) == 0
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"n_jobs": 121},
+            {"seed": 9},
+            {"processors": 17},
+            {"malleable": True},
+            {"verify": False},
+        ],
+    )
+    def test_any_config_change_invalidates(self, tmp_path, change):
+        first = ExperimentRunner(RunnerConfig(cache_dir=tmp_path))
+        run_sweep("interval", VALUES[:1], CFG, runner=first)
+        second = ExperimentRunner(RunnerConfig(cache_dir=tmp_path))
+        run_sweep(
+            "interval", VALUES[:1], replace(CFG, **change), runner=second
+        )
+        snap = second.perf_snapshot()
+        assert snap["cache_hits"] == 0
+        assert snap["cache_misses"] == len(VALUES[:1]) * 3
+
+    def test_cross_experiment_overlap_hits(self, tmp_path):
+        # A coarser grid over the same axis is a subset of a finer one —
+        # the fig6a/fig5a relationship that motivates the shared cache.
+        fine = ExperimentRunner(RunnerConfig(cache_dir=tmp_path))
+        run_sweep("interval", (20.0, 30.0, 40.0), CFG, runner=fine)
+        coarse = ExperimentRunner(RunnerConfig(cache_dir=tmp_path))
+        run_sweep("interval", (20.0, 40.0), CFG, runner=coarse)
+        snap = coarse.perf_snapshot()
+        assert snap["cache_hits"] == 2 * 3
+        assert snap["cache_misses"] == 0
+
+    def test_dedup_within_one_batch(self):
+        runner = ExperimentRunner(RunnerConfig())
+        metrics = runner.run_units(
+            [(CFG, "tunable"), (CFG, "shape1"), (CFG, "tunable")]
+        )
+        assert metrics[0] == metrics[2]
+        snap = runner.perf_snapshot()
+        assert snap["dedup_hits"] == 1
+        assert snap["units_executed_inline"] == 2
+
+
+class TestFailurePaths:
+    def test_worker_crash_falls_back_in_process(self, tmp_path):
+        serial = run_sweep("interval", VALUES[:2], CFG)
+        broken = ExperimentRunner(
+            RunnerConfig(jobs=2, cache_dir=tmp_path, retries=1),
+            _chunk_fn=_crashing_chunk,
+        )
+        rescued = run_sweep("interval", VALUES[:2], CFG, runner=broken)
+        assert _rows(serial) == _rows(rescued)
+        snap = broken.perf_snapshot()
+        assert snap["pool_chunk_failures"] >= 1
+        assert snap["pool_fallback_units"] == 2 * len(serial.systems)
+        assert snap["units_executed_inline"] == 2 * len(serial.systems)
+
+    def test_chunk_timeout_falls_back_in_process(self):
+        serial = run_sweep("interval", VALUES[:1], CFG)
+        slow = ExperimentRunner(
+            RunnerConfig(jobs=2, timeout=0.2, retries=0),
+            _chunk_fn=_slow_chunk,
+        )
+        rescued = run_sweep("interval", VALUES[:1], CFG, runner=slow)
+        assert _rows(serial) == _rows(rescued)
+        assert slow.perf_snapshot()["pool_chunk_failures"] >= 1
+
+    def test_perf_snapshot_shape(self, tmp_path):
+        runner = ExperimentRunner(RunnerConfig(jobs=2, cache_dir=tmp_path))
+        run_sweep("interval", VALUES[:2], CFG, runner=runner)
+        snap = runner.perf_snapshot()
+        assert snap["units_total"] == 2 * 3
+        assert snap["unit_count"] == 2 * 3
+        assert snap["unit_p50_us"] > 0
+        assert snap["unit_p95_us"] >= snap["unit_p50_us"]
+        assert snap["cache_stores"] == 2 * 3

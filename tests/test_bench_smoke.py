@@ -37,6 +37,12 @@ def test_run_bench_quick(tmp_path):
     assert arrival["throughput"] > 0
     assert arrival["decision_p95_us"] >= arrival["decision_p50_us"] >= 0
     assert arrival["profile_shift_ops"] > 0
+    sweep = report["sweep"]
+    assert sweep["checksums_match"] is True
+    assert sweep["cold_cache_misses"] == sweep["units"]
+    assert sweep["warm_cache_hits"] == sweep["units"]
+    assert sweep["warm_cache_misses"] == 0
+    assert sweep["speedup_warm_cache"] > 1.0
 
 
 def test_committed_report_is_current_shape():
@@ -51,3 +57,12 @@ def test_committed_report_is_current_shape():
     assert reserve_fit["speedup"] >= 2.0
     for key in ("decision_p50_us", "decision_p95_us", "utilization"):
         assert key in committed["arrival"]
+    sweep = committed["sweep"]
+    assert sweep["checksums_match"] is True
+    assert sweep["cold_cache_misses"] == sweep["units"]
+    assert sweep["warm_cache_hits"] == sweep["units"]
+    # Memoization acceptance bar: a warm re-run must be >= 10x faster than
+    # recomputing the sweep.  (The cold-parallel ratio is bounded by the
+    # generating host's core count — recorded in sweep["cpus"] — so it is
+    # documented, not asserted.)
+    assert sweep["speedup_warm_cache"] >= 10.0
