@@ -16,6 +16,11 @@ Two sections:
   in parallel over worker processes with a cold content-addressed result
   cache, and again warm — with checksums proving all three executions
   produced identical metrics.
+* ``resilience`` — the fault-aware simulation loop
+  (:mod:`repro.resilience`): a zero-event run checked bit-identical
+  against the baseline simulator (the subsystem's no-overhead-when-idle
+  guard), then a perturbed run (capacity faults x overruns x bursts)
+  timed under full per-event verification.
 
 Usage::
 
@@ -50,6 +55,12 @@ from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
 from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
 from repro.core.arbitrator import QoSArbitrator  # noqa: E402
 from repro.core.profile import AvailabilityProfile  # noqa: E402
+from repro.resilience.events import (  # noqa: E402
+    FaultModel,
+    PerturbationTrace,
+    generate_trace,
+)
+from repro.resilience.simulator import simulate_resilient  # noqa: E402
 from repro.sim.arrivals import PoissonArrivals  # noqa: E402
 from repro.sim.rng import RandomStreams  # noqa: E402
 from repro.sim.simulator import simulate_arrivals  # noqa: E402
@@ -117,6 +128,87 @@ def run_arrival_bench(
     }
 
 
+def run_resilience_bench(
+    n_jobs: int,
+    capacity: int = 32,
+    mean_interval: float = 30.0,
+    seed: int = 2024,
+) -> dict:
+    """Fault-aware loop benchmark with the zero-event equivalence guard.
+
+    First proves the no-overhead-when-idle identity — an empty
+    ``PerturbationTrace`` through :func:`simulate_resilient` must reproduce
+    the fault-free ``simulate_arrivals`` metrics bit for bit, with an empty
+    resilience block — then times a perturbed run (capacity faults, latent
+    overruns, arrival bursts) with full per-event verification on and
+    reports its headline resilience metrics.
+    """
+    params = SyntheticParams(x=16, t=25.0, alpha=0.25, laxity=0.5)
+
+    def factory(i, release):
+        return params.tunable_job(release)
+
+    arrivals = list(
+        PoissonArrivals(mean_interval, RandomStreams(seed)).times(n_jobs)
+    )
+    baseline = simulate_arrivals(
+        QoSArbitrator(capacity),
+        factory,
+        PoissonArrivals(mean_interval, RandomStreams(seed)),
+        n_jobs,
+    )
+    empty = simulate_resilient(
+        QoSArbitrator(capacity), factory, arrivals, PerturbationTrace()
+    )
+    if empty != baseline or empty.resilience != {}:
+        raise AssertionError(
+            "zero-event resilient run diverged from the baseline simulator"
+        )
+
+    model = FaultModel(
+        fault_rate=3e-4,
+        fault_severity=0.375,
+        mean_repair=300.0,
+        overrun_prob=0.10,
+        burst_rate=5e-5,
+        burst_size=4,
+    )
+    trace = generate_trace(
+        model,
+        RandomStreams(seed),
+        horizon=arrivals[-1] + params.d2,
+        base_capacity=capacity,
+        n_arrivals=n_jobs,
+    )
+    t_start = time.perf_counter()
+    metrics = simulate_resilient(
+        QoSArbitrator(capacity, keep_placements=True),
+        factory,
+        arrivals,
+        trace,
+        verify=True,
+    )
+    elapsed = time.perf_counter() - t_start
+    r = metrics.resilience
+    return {
+        "jobs": n_jobs,
+        "capacity": capacity,
+        "mean_interval": mean_interval,
+        "zero_event_identical": True,
+        "seconds": round(elapsed, 6),
+        "jobs_per_sec": round(n_jobs / elapsed, 1) if elapsed > 0 else None,
+        "events": r["events"],
+        "capacity_events": r["capacity_events"],
+        "overrun_events": r["overrun_events"],
+        "burst_arrivals": r["burst_arrivals"],
+        "affected": r["affected"],
+        "survival_rate": round(r["survival_rate"], 4),
+        "path_switches": r["path_switches"],
+        "wasted_work": round(r["wasted_work"], 3),
+        "utilization": round(metrics.utilization, 4),
+    }
+
+
 def generate(quick: bool = False) -> dict:
     """Run every section and return the report dict."""
     if quick:
@@ -126,6 +218,7 @@ def generate(quick: bool = False) -> dict:
             (15.0, 30.0, 45.0, 60.0),
             2,
         )
+        resilience_n = 300
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
         sweep_n, sweep_values, sweep_workers = (
@@ -133,6 +226,7 @@ def generate(quick: bool = False) -> dict:
             tuple(float(v) for v in range(10, 86, 5)),
             4,
         )
+        resilience_n = 2_000
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
@@ -149,6 +243,7 @@ def generate(quick: bool = False) -> dict:
         "sweep": run_sweep_runner_bench(
             sweep_n, sweep_values, workers=sweep_workers
         ),
+        "resilience": run_resilience_bench(resilience_n),
     }
 
 
@@ -184,6 +279,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({sweep['speedup_parallel_cold']}x) "
         f"warm-cache={sweep['warm_cache_seconds']}s "
         f"({sweep['speedup_warm_cache']}x), checksums match"
+    )
+    resilience = report["resilience"]
+    print(
+        f"  resilience ({resilience['jobs']} jobs, "
+        f"{resilience['events']} events): zero-event identical, "
+        f"perturbed run {resilience['seconds']}s "
+        f"({resilience['jobs_per_sec']} jobs/s), "
+        f"survival={resilience['survival_rate']} "
+        f"switches={resilience['path_switches']}"
     )
     return 0
 

@@ -28,7 +28,12 @@ from repro.calypso.shared import SharedMemory, TaskView
 from repro.calypso.routine import Routine
 from repro.calypso.step import ParallelStep, StepReport
 from repro.calypso.runtime import CalypsoRuntime
-from repro.calypso.faults import FaultInjector, DeterministicFaults, TransientFault
+from repro.calypso.faults import (
+    FaultInjector,
+    DeterministicFaults,
+    SlowNodeInjector,
+    TransientFault,
+)
 from repro.calypso.manager import ApplicationManager, ProgramRun
 
 __all__ = [
@@ -40,6 +45,7 @@ __all__ = [
     "CalypsoRuntime",
     "FaultInjector",
     "DeterministicFaults",
+    "SlowNodeInjector",
     "TransientFault",
     "ApplicationManager",
     "ProgramRun",

@@ -8,18 +8,26 @@ injectors here let the test suite and the fault-masking example verify the
 mechanism instead of assuming it.
 
 Injectors are called by the runtime at the start of every task execution
-and raise :class:`TransientFault` to simulate a worker dying mid-task.
+and either raise :class:`TransientFault` to simulate a worker dying
+mid-task or stall (:class:`SlowNodeInjector`) to simulate the "wide
+variations in processing speeds" that eager scheduling masks.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Mapping
+import time
+from typing import Iterable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStreams
 
-__all__ = ["TransientFault", "FaultInjector", "DeterministicFaults"]
+__all__ = [
+    "TransientFault",
+    "FaultInjector",
+    "DeterministicFaults",
+    "SlowNodeInjector",
+]
 
 
 class TransientFault(Exception):
@@ -112,3 +120,38 @@ class DeterministicFaults:
                 raise TransientFault(
                     f"scripted fault in task {task_key!r} ({remaining} remaining)"
                 )
+
+
+class SlowNodeInjector:
+    """Dilate execution time on designated worker threads (stragglers).
+
+    Workers are addressed by thread name — the runtime names its pool
+    ``calypso-0 .. calypso-{n-1}`` — and every execution picked up by a
+    slow worker stalls for ``delay`` wall-clock seconds before the task
+    body runs.  No fault is raised and no result is discarded: the point
+    is that *eager duplication* lets fast workers re-execute the straggling
+    tasks, so a step's wall time and results are insulated from slow nodes
+    (the straggler-masking half of Section 2's execution techniques).
+
+    Parameters
+    ----------
+    slow_workers:
+        Thread names to slow down (e.g. ``{"calypso-0"}``).
+    delay:
+        Stall per execution on a slow worker, in seconds (> 0).
+    """
+
+    def __init__(self, slow_workers: Iterable[str], delay: float = 0.05) -> None:
+        if delay <= 0:
+            raise ConfigurationError(f"delay must be positive, got {delay}")
+        self.slow_workers = frozenset(slow_workers)
+        self.delay = delay
+        self._lock = threading.Lock()
+        self.delays_injected = 0
+
+    def before_execution(self, task_key: tuple[str, int]) -> None:
+        """Stall when running on a slow worker; never faults."""
+        if threading.current_thread().name in self.slow_workers:
+            with self._lock:
+                self.delays_injected += 1
+            time.sleep(self.delay)

@@ -152,6 +152,18 @@ class QoSArbitrator:
 
     # ------------------------------------------------------------------
 
+    def adopt_schedule(self, schedule: Schedule) -> None:
+        """Swap in a replacement :class:`Schedule` (capacity change).
+
+        The resilience driver rebuilds the committed schedule on a new
+        machine size at each capacity event; this rebinds the arbitrator
+        and its scheduler to that schedule so subsequent admissions probe
+        the post-change profile.  Admission/quality counters are *not*
+        reset — they describe the whole run, not one capacity epoch.
+        """
+        self.schedule = schedule
+        self.scheduler.schedule = schedule
+
     def submit(self, job: Job) -> AdmissionDecision:
         """Admission-control one job and commit its chosen configuration.
 

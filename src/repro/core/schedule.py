@@ -67,6 +67,11 @@ class Schedule:
         return self.profile.capacity
 
     @property
+    def keeps_placements(self) -> bool:
+        """Whether committed placements are retained (see constructor)."""
+        return self._keep
+
+    @property
     def placements(self) -> tuple[ChainPlacement, ...]:
         """All committed chain placements (empty if ``keep_placements=False``)."""
         return tuple(self._placements)
@@ -175,6 +180,98 @@ class Schedule:
                     max(self._finishes) if self._finishes else -math.inf
                 )
         self.perf.count("rollbacks")
+
+    def rollback_tail(self, cp: ChainPlacement, cut: float) -> None:
+        """Release the portion of ``cp``'s reservations at or after ``cut``.
+
+        The overrun primitive of the resilience driver: when a running
+        task is discovered (at ``cut``) to exceed its reserved duration,
+        the chain's downstream reservations are returned to the profile so
+        the remaining work can be re-negotiated, while the already-consumed
+        prefix (before ``cut``) stays accounted — those processors really
+        were busy.  Concretely:
+
+        * every reserved interval ``[start, end)`` with ``end > cut`` is
+          released over ``[max(start, cut), end)``;
+        * committed area shrinks by exactly the released processor-time;
+        * the job's committed finish moves from ``cp.finish`` to ``cut``
+          (the consumed stub still bounds the utilization window);
+        * ``cp`` leaves the placement list — the re-admitted remainder, if
+          any, is committed as its own placement.
+
+        ``cut`` must lie strictly after ``cp.start``; a placement that has
+        not started yet is a plain :meth:`rollback`.  A placement carried
+        across a capacity change (see :meth:`adopt_carried`) may be passed
+        here even though its pre-change intervals were never reserved on
+        this profile: only post-``cut`` intervals are touched, and those
+        are always within the carried reservation.
+        """
+        if cut <= cp.start:
+            self.rollback(cp)
+            return
+        released = 0.0
+        for pl in reversed(cp.placements):
+            if pl.end <= cut:
+                continue
+            start = max(pl.start, cut)
+            self.profile.release(start, pl.end, pl.processors)
+            released += (pl.end - start) * pl.processors
+        if self._keep:
+            try:
+                self._placements.remove(cp)
+            except ValueError as exc:
+                raise ScheduleConsistencyError(
+                    f"rollback_tail of unknown placement for job {cp.job_id}"
+                ) from exc
+        self._committed_area -= released
+        self._finishes[cp.finish] -= 1
+        if not self._finishes[cp.finish]:
+            del self._finishes[cp.finish]
+        self._finishes[cut] += 1
+        if cp.finish == self._last_finish:
+            self._last_finish = max(self._finishes)
+        self.perf.count("tail_rollbacks")
+
+    def adopt_carried(self, cp: ChainPlacement, cut: float) -> None:
+        """Re-reserve the remaining (post-``cut``) portion of ``cp`` here.
+
+        Used when a placement committed on a *predecessor* schedule is
+        carried across a capacity change onto this schedule (whose origin
+        is the change time ``cut``): each reserved interval is clipped to
+        ``[max(start, cut), end)`` and re-reserved.  Raises
+        :class:`~repro.errors.CapacityExceededError` — after rolling back
+        the partial reservation — when the remaining shape no longer fits,
+        in which case the caller renegotiates or drops the job.
+
+        Accounting counts only the clipped (re-reserved) area; the
+        pre-change portion burned on the predecessor machine and is that
+        schedule's history.
+        """
+        reserved: list[tuple[float, float, int]] = []
+        area = 0.0
+        try:
+            for pl in cp.placements:
+                if pl.end <= cut:
+                    continue
+                start = max(pl.start, cut)
+                self.profile.reserve(start, pl.end, pl.processors)
+                reserved.append((start, pl.end, pl.processors))
+                area += (pl.end - start) * pl.processors
+        except Exception:
+            for start, end, procs in reversed(reserved):
+                self.profile.release(start, end, procs)
+            raise
+        if self._keep:
+            self._placements.append(cp)
+        self._committed_area += area
+        self._committed_jobs += 1
+        self._releases[cp.release] += 1
+        self._finishes[cp.finish] += 1
+        if cp.release < self._first_release:
+            self._first_release = cp.release
+        if cp.finish > self._last_finish:
+            self._last_finish = cp.finish
+        self.perf.count("carries")
 
     def compact(self, before: float) -> None:
         """Forget profile structure before ``before`` (see profile docs).

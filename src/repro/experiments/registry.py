@@ -18,6 +18,7 @@ from repro.experiments.best_effort import (
     render_best_effort,
     run_best_effort_comparison,
 )
+from repro.experiments.faults import render_faults, run_faults
 from repro.experiments.junction_fig2 import render_fig2, run_fig2
 from repro.experiments.quality import render_quality, run_quality_degradation
 from repro.experiments.survival import render_survival, run_survival
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "best-effort": lambda: render_best_effort(run_best_effort_comparison()),
     "quality": lambda: render_quality(run_quality_degradation()),
     "survival": lambda: render_survival(run_survival()),
+    "faults": lambda: render_faults(run_faults()),
     "ablation-policy": ablations.ablation_policy,
     "ablation-malleable": ablations.ablation_malleable_strategy,
     "ablation-fit": ablations.ablation_fit_rule,

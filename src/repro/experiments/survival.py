@@ -8,6 +8,12 @@ count the *affected* jobs (those not yet finished at the drop) that keep a
 reservation.  A tunable job can be re-admitted on a different path — e.g.
 its narrow-first transposition when the machine can no longer host the
 wide task early — so its survival rate should dominate both rigid shapes'.
+
+Superseded by the trace-driven :mod:`repro.experiments.faults`, which runs
+the same comparison as an *online* event stream (repeated failures with
+repair, overruns, bursts) through :mod:`repro.resilience` instead of one
+offline drop over a finished batch; this batch variant is kept as the
+minimal, assumption-free illustration of the renegotiation primitive.
 """
 
 from __future__ import annotations

@@ -1,0 +1,40 @@
+"""Fault-aware online simulation (the Section 3.1 monitoring loop).
+
+The paper's arbitrator "monitors system resources, and triggers
+renegotiation on detecting a significant change in resource levels"; this
+package exercises that claim end to end:
+
+* :mod:`repro.resilience.events` — deterministic, CRN-pairable
+  perturbation traces (capacity changes, latent execution-time overruns,
+  arrival bursts) drawn from named RNG substreams;
+* :mod:`repro.resilience.driver` — the stateful multi-event
+  renegotiation driver with degrade-don't-drop re-planning across a job's
+  OR-graph paths;
+* :mod:`repro.resilience.simulator` — the merged arrival + perturbation
+  discrete-event loop, bit-identical to the fault-free baseline under an
+  empty trace.
+"""
+
+from repro.resilience.driver import RenegotiationDriver, ResilienceOutcome
+from repro.resilience.events import (
+    BurstEvent,
+    CapacityEvent,
+    FaultModel,
+    OverrunEvent,
+    PerturbationTrace,
+    generate_trace,
+)
+from repro.resilience.simulator import ResilientSimulator, simulate_resilient
+
+__all__ = [
+    "BurstEvent",
+    "CapacityEvent",
+    "FaultModel",
+    "OverrunEvent",
+    "PerturbationTrace",
+    "generate_trace",
+    "RenegotiationDriver",
+    "ResilienceOutcome",
+    "ResilientSimulator",
+    "simulate_resilient",
+]

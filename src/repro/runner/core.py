@@ -24,6 +24,13 @@ cached executions of the same batch produce identical metrics (floats
 survive the JSON hop exactly: Python's float repr is shortest
 round-trip).  Genuine simulation errors are *not* swallowed by the
 fallback: an in-process re-run re-raises them synchronously.
+
+Interruption: every unit's result is written to the cache the moment it
+is retrieved — not batched at the end — so a ``KeyboardInterrupt``
+mid-batch (Ctrl-C, or a dying CI job) loses only in-flight work.  The
+interrupt cancels outstanding pool futures, is counted in the perf
+snapshot and re-raised cleanly; a re-run resumes from the flushed
+entries as cache hits.
 """
 
 from __future__ import annotations
@@ -122,22 +129,28 @@ class ExperimentRunner:
         else:
             pending = unique
 
-        executed = self._execute(
-            [(key, *units[first_of[key]]) for key in pending]
-        )
-        results.update(executed)
-
-        if self.cache is not None:
-            for key in pending:
+        def store(key: str, metrics: RunMetrics) -> None:
+            # Flush each result the moment it exists, so an interrupt
+            # mid-batch preserves everything already computed.
+            results[key] = metrics
+            if self.cache is not None:
                 config, system = units[first_of[key]]
                 self.cache.put(
                     key,
-                    results[key],
+                    metrics,
                     meta={
                         "system": system,
                         "config": sweep_config_to_dict(config),
                     },
                 )
+
+        try:
+            self._execute(
+                [(key, *units[first_of[key]]) for key in pending], store
+            )
+        except KeyboardInterrupt:
+            self.perf.count("interrupted_batches")
+            raise
 
         return [results[key] for key in keys]
 
@@ -157,20 +170,29 @@ class ExperimentRunner:
     # ------------------------------------------------------------------
 
     def _execute(
-        self, work: list[tuple[str, SweepConfig, str]]
-    ) -> dict[str, RunMetrics]:
-        """Run every (key, config, system) unit, pooled when configured."""
+        self,
+        work: list[tuple[str, SweepConfig, str]],
+        store: Callable[[str, RunMetrics], None],
+    ) -> None:
+        """Run every (key, config, system) unit, pooled when configured.
+
+        ``store`` is invoked once per completed unit, as soon as its
+        metrics are in hand — pooled results as their chunk's future
+        resolves, inline results after each simulation — so the caller's
+        cache reflects all completed work even if a later unit raises.
+        """
         if not work:
-            return {}
-        results: dict[str, RunMetrics] = {}
+            return
+
+        def store_chunk(chunk_results: list[dict[str, object]]) -> None:
+            for item in chunk_results:
+                store(str(item["key"]), metrics_from_dict(item["metrics"]))  # type: ignore[arg-type]
+                self.perf.observe("unit", float(item["seconds"]))  # type: ignore[arg-type]
+                self.perf.count("units_executed_pool")
+
         if self.config.jobs > 1 and len(work) > 1:
             chunks = self._chunked(work)
-            done = self._run_chunks_pooled(chunks)
-            for index, chunk_results in done.items():
-                for item in chunk_results:
-                    results[str(item["key"])] = metrics_from_dict(item["metrics"])  # type: ignore[arg-type]
-                    self.perf.observe("unit", float(item["seconds"]))  # type: ignore[arg-type]
-                    self.perf.count("units_executed_pool")
+            done = self._run_chunks_pooled(chunks, store_chunk)
             leftover = [
                 unit
                 for index, chunk in enumerate(chunks)
@@ -186,8 +208,7 @@ class ExperimentRunner:
             metrics = run_point(config, system)
             self.perf.observe("unit", time.perf_counter() - t0)
             self.perf.count("units_executed_inline")
-            results[key] = metrics
-        return results
+            store(key, metrics)
 
     def _chunked(
         self, work: list[tuple[str, SweepConfig, str]]
@@ -208,12 +229,17 @@ class ExperimentRunner:
         return [payloads[i : i + size] for i in range(0, len(payloads), size)]
 
     def _run_chunks_pooled(
-        self, chunks: list[list[dict[str, object]]]
+        self,
+        chunks: list[list[dict[str, object]]],
+        store_chunk: Callable[[list[dict[str, object]]], None],
     ) -> dict[int, list[dict[str, object]]]:
         """Dispatch chunks to a process pool; retry failures on a fresh one.
 
-        Returns per-chunk results for whatever succeeded; chunks missing
-        from the mapping are the caller's to run in-process.  The
+        ``store_chunk`` is called with each chunk's results as soon as its
+        future resolves (before later futures are awaited), so completed
+        work is persisted even when a subsequent chunk interrupts the
+        batch.  Returns per-chunk results for whatever succeeded; chunks
+        missing from the mapping are the caller's to run in-process.  The
         ``_unit`` bookkeeping field never crosses the process boundary.
         """
         wire = [
@@ -238,12 +264,20 @@ class ExperimentRunner:
                 }
                 self.perf.count("pool_chunks_dispatched", len(futures))
                 for future, index in futures.items():
-                    done[index] = future.result(timeout=self.config.timeout)
+                    chunk_results = future.result(timeout=self.config.timeout)
+                    done[index] = chunk_results
                     remaining.discard(index)
+                    store_chunk(chunk_results)
             except (FutureTimeoutError, BrokenExecutor, OSError):
                 # Worker death or a stuck chunk: abandon this pool and
                 # retry what's left (fresh pool or in-process fallback).
                 self.perf.count("pool_chunk_failures")
+            except KeyboardInterrupt:
+                # Ctrl-C (possibly relayed from a worker process): cancel
+                # what hasn't started, count it, and propagate — results
+                # already handed to store_chunk stay flushed.
+                self.perf.count("pool_interrupts")
+                raise
             except Exception:
                 # A genuine error from the chunk body; the in-process
                 # fallback will re-raise it with a clean traceback.

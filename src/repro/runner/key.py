@@ -26,6 +26,7 @@ from typing import Mapping
 from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import ConfigurationError
+from repro.resilience.events import FaultModel
 from repro.workloads.sweep import SweepConfig
 from repro.workloads.synthetic import SyntheticParams
 
@@ -39,8 +40,9 @@ __all__ = [
 
 #: Bump when the meaning of a serialized config (or the simulation it
 #: feeds) changes incompatibly; old cache entries then miss instead of
-#: resurfacing stale results.
-KEY_VERSION = 1
+#: resurfacing stale results.  v2: SweepConfig gained the ``faults``
+#: field and RunMetrics the ``resilience`` block.
+KEY_VERSION = 2
 
 
 def canonical_json(obj: object) -> str:
@@ -68,6 +70,34 @@ def _params_from_dict(data: Mapping[str, object]) -> SyntheticParams:
     )
 
 
+def _faults_to_dict(model: FaultModel | None) -> dict[str, object] | None:
+    if model is None:
+        return None
+    return {
+        "fault_rate": model.fault_rate,
+        "fault_severity": model.fault_severity,
+        "mean_repair": model.mean_repair,
+        "overrun_prob": model.overrun_prob,
+        "overrun_excess": model.overrun_excess,
+        "burst_rate": model.burst_rate,
+        "burst_size": model.burst_size,
+    }
+
+
+def _faults_from_dict(data: Mapping[str, object] | None) -> FaultModel | None:
+    if data is None:
+        return None
+    return FaultModel(
+        fault_rate=float(data["fault_rate"]),  # type: ignore[arg-type]
+        fault_severity=float(data["fault_severity"]),  # type: ignore[arg-type]
+        mean_repair=float(data["mean_repair"]),  # type: ignore[arg-type]
+        overrun_prob=float(data["overrun_prob"]),  # type: ignore[arg-type]
+        overrun_excess=float(data["overrun_excess"]),  # type: ignore[arg-type]
+        burst_rate=float(data["burst_rate"]),  # type: ignore[arg-type]
+        burst_size=int(data["burst_size"]),  # type: ignore[arg-type]
+    )
+
+
 def sweep_config_to_dict(config: SweepConfig) -> dict[str, object]:
     """JSON-able encoding of every outcome-relevant config field."""
     return {
@@ -80,6 +110,7 @@ def sweep_config_to_dict(config: SweepConfig) -> dict[str, object]:
         "strategy": config.strategy.value,
         "policy": config.policy.value,
         "verify": config.verify,
+        "faults": _faults_to_dict(config.faults),
     }
 
 
@@ -96,6 +127,7 @@ def sweep_config_from_dict(data: Mapping[str, object]) -> SweepConfig:
             strategy=MalleableStrategy(data["strategy"]),
             policy=TieBreakPolicy(data["policy"]),
             verify=bool(data["verify"]),
+            faults=_faults_from_dict(data.get("faults")),  # type: ignore[arg-type]
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed sweep-config payload: {exc}") from exc

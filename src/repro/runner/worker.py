@@ -47,3 +47,17 @@ def _slow_chunk(payloads: Sequence[Mapping[str, object]]) -> list[dict[str, obje
     """Test hook: overrun any reasonable per-chunk timeout."""
     time.sleep(5.0)
     return run_unit_chunk(payloads)
+
+
+def _interrupting_chunk(
+    payloads: Sequence[Mapping[str, object]],
+) -> list[dict[str, object]]:
+    """Test hook: Ctrl-C arrives while a marked chunk is executing.
+
+    Chunks containing a ``shape2`` unit raise ``KeyboardInterrupt`` (the
+    executor pickles it back to the parent exactly like a real interrupt
+    delivered to a worker); every other chunk runs normally.
+    """
+    if any(p["system"] == "shape2" for p in payloads):
+        raise KeyboardInterrupt
+    return run_unit_chunk(payloads)

@@ -41,6 +41,13 @@ class RunMetrics:
         Sum of path qualities over admitted jobs.
     horizon:
         Last committed finish time (virtual).
+    resilience:
+        Fault-handling outcome of a perturbed run (event counts,
+        survived/degraded/dropped tallies, quality delta, capacity lost,
+        wasted work — see :mod:`repro.resilience`).  Empty for fault-free
+        runs, so a zero-event trace yields metrics equal to the baseline
+        simulator's.  Unlike ``perf`` it *is* part of equality and of
+        persistence: resilience numbers are experiment results.
     perf:
         Hot-path instrumentation snapshot (wall-clock decision latency
         percentiles, probe/reject counters, profile op stats — see
@@ -59,6 +66,7 @@ class RunMetrics:
     chain_usage: Mapping[int, int]
     achieved_quality: float
     horizon: float
+    resilience: Mapping[str, float | int] = field(default_factory=dict)
     # compare=False: wall-clock diagnostics never make two runs unequal
     # (and they don't survive persistence round-trips by design).
     perf: Mapping[str, float | int] = field(default_factory=dict, compare=False)
@@ -74,8 +82,8 @@ class RunMetrics:
         return self.admitted / self.offered if self.offered else 0.0
 
     def as_dict(self) -> dict[str, float | int]:
-        """Flat dict for table/report rendering."""
-        return {
+        """Flat dict for table/report rendering (resilience keys prefixed)."""
+        out = {
             "offered": self.offered,
             "admitted": self.admitted,
             "rejected": self.rejected,
@@ -88,6 +96,9 @@ class RunMetrics:
             "achieved_quality": self.achieved_quality,
             "horizon": self.horizon,
         }
+        for key, value in self.resilience.items():
+            out[f"resilience_{key}"] = value
+        return out
 
 
 @dataclass
@@ -123,6 +134,7 @@ class MetricsCollector:
         achieved_quality: float,
         horizon: float,
         perf: Mapping[str, float | int] | None = None,
+        resilience: Mapping[str, float | int] | None = None,
     ) -> RunMetrics:
         """Produce the immutable summary."""
         if self._responses:
@@ -146,5 +158,6 @@ class MetricsCollector:
             chain_usage=dict(chain_usage),
             achieved_quality=achieved_quality,
             horizon=horizon,
+            resilience=dict(resilience) if resilience else {},
             perf=dict(perf) if perf else {},
         )

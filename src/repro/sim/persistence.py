@@ -121,11 +121,14 @@ def metrics_to_dict(metrics: RunMetrics) -> dict[str, object]:
     """Serialize run metrics (NaN-safe: NaN becomes null)."""
     out: dict[str, object] = {"version": FORMAT_VERSION}
     for key, value in metrics.as_dict().items():
+        if key.startswith("resilience_"):
+            continue  # nested below, like chain_usage
         if isinstance(value, float) and math.isnan(value):
             out[key] = None
         else:
             out[key] = value
     out["chain_usage"] = {str(k): v for k, v in metrics.chain_usage.items()}
+    out["resilience"] = dict(metrics.resilience)
     return out
 
 
@@ -154,4 +157,6 @@ def metrics_from_dict(data: Mapping[str, object]) -> RunMetrics:
         },
         achieved_quality=fget("achieved_quality"),
         horizon=fget("horizon"),
+        # Absent in archives written before the resilience subsystem.
+        resilience=dict(data.get("resilience") or {}),  # type: ignore[arg-type]
     )

@@ -17,6 +17,8 @@ from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import WorkloadError
 from repro.model.job import Job
+from repro.resilience.events import FaultModel, generate_trace
+from repro.resilience.simulator import simulate_resilient
 from repro.sim.arrivals import PoissonArrivals
 from repro.sim.metrics import RunMetrics
 from repro.sim.rng import RandomStreams
@@ -35,7 +37,13 @@ class SweepConfig:
     """Everything needed to reproduce one experiment point or sweep.
 
     ``axis`` names the swept parameter: one of ``"interval"``, ``"laxity"``,
-    ``"processors"``, ``"alpha"``.
+    ``"processors"``, ``"alpha"``, ``"fault_rate"``.
+
+    ``faults`` selects the fault-aware simulator (:mod:`repro.resilience`)
+    with a perturbation trace drawn from the given
+    :class:`~repro.resilience.events.FaultModel`; ``None`` (or an
+    all-zero-rate model) runs the fault-free baseline simulator,
+    bit-identically to configs predating the field.
     """
 
     params: SyntheticParams = field(default_factory=presets.default_params)
@@ -47,6 +55,7 @@ class SweepConfig:
     strategy: MalleableStrategy = MalleableStrategy.WIDEST_FIRST_FEASIBLE
     policy: TieBreakPolicy = TieBreakPolicy.PAPER
     verify: bool = True
+    faults: FaultModel | None = None
 
     def with_axis(self, axis: str, value: float) -> "SweepConfig":
         """Copy of this config with ``axis`` set to ``value``."""
@@ -58,6 +67,9 @@ class SweepConfig:
             return replace(self, processors=int(value))
         if axis == "alpha":
             return replace(self, params=self.params.with_alpha(float(value)))
+        if axis == "fault_rate":
+            model = self.faults if self.faults is not None else FaultModel()
+            return replace(self, faults=model.with_fault_rate(float(value)))
         raise WorkloadError(f"unknown sweep axis {axis!r}")
 
 
@@ -73,9 +85,39 @@ def _job_factory(config: SweepConfig, system: str) -> Callable[[int, float], Job
 
 
 def run_point(config: SweepConfig, system: str) -> RunMetrics:
-    """Simulate one task system at one configuration point."""
+    """Simulate one task system at one configuration point.
+
+    With a non-empty fault model, the arrivals are drawn first (from the
+    same substreams as the fault-free path — the perturbation trace uses
+    disjoint substreams, so arrivals match the fault-free run exactly) and
+    replayed through the fault-aware simulator.
+    """
     streams = RandomStreams(config.seed)
     process = PoissonArrivals(config.interval, streams)
+    if config.faults is not None and not config.faults.empty:
+        arrivals = list(process.times(config.n_jobs))
+        horizon = (arrivals[-1] if arrivals else 0.0) + config.params.d2
+        trace = generate_trace(
+            config.faults,
+            streams,
+            horizon=horizon,
+            base_capacity=config.processors,
+            n_arrivals=config.n_jobs,
+        )
+        arbitrator = QoSArbitrator(
+            config.processors,
+            malleable=config.malleable,
+            strategy=config.strategy,
+            policy=config.policy,
+            keep_placements=True,  # renegotiation input
+        )
+        return simulate_resilient(
+            arbitrator,
+            _job_factory(config, system),
+            arrivals,
+            trace,
+            verify=config.verify,
+        )
     arbitrator = QoSArbitrator(
         config.processors,
         malleable=config.malleable,

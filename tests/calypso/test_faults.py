@@ -1,8 +1,15 @@
 """Unit tests for fault injectors."""
 
+import threading
+
 import pytest
 
-from repro.calypso.faults import DeterministicFaults, FaultInjector, TransientFault
+from repro.calypso.faults import (
+    DeterministicFaults,
+    FaultInjector,
+    SlowNodeInjector,
+    TransientFault,
+)
 from repro.errors import ConfigurationError
 from repro.sim.rng import RandomStreams
 
@@ -66,3 +73,30 @@ class TestDeterministicFaults:
     def test_negative_count_rejected(self):
         with pytest.raises(ConfigurationError):
             DeterministicFaults({("t", 0): -1})
+
+
+class TestSlowNodeInjector:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlowNodeInjector({"calypso-0"}, delay=0.0)
+        with pytest.raises(ConfigurationError):
+            SlowNodeInjector({"calypso-0"}, delay=-0.1)
+
+    def test_only_named_workers_stall(self):
+        inj = SlowNodeInjector({"slow-thread"}, delay=0.001)
+        inj.before_execution(("t", 0))  # current thread is not slow
+        assert inj.delays_injected == 0
+
+        def run():
+            inj.before_execution(("t", 1))
+
+        worker = threading.Thread(target=run, name="slow-thread")
+        worker.start()
+        worker.join()
+        assert inj.delays_injected == 1
+
+    def test_never_raises(self):
+        inj = SlowNodeInjector({threading.current_thread().name}, delay=0.001)
+        for i in range(3):
+            inj.before_execution(("t", i))  # stalls, never faults
+        assert inj.delays_injected == 3

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.calypso.faults import DeterministicFaults, FaultInjector
+from repro.calypso.faults import DeterministicFaults, FaultInjector, SlowNodeInjector
 from repro.calypso.routine import Routine
 from repro.calypso.runtime import CalypsoRuntime
 from repro.calypso.shared import SharedMemory
@@ -184,6 +184,43 @@ class TestEagerDuplication:
         report = runtime.execute_step(sum_step(copies=2), mem)
         assert report.executions >= report.tasks
         assert sum(mem[f"p{i}"] for i in range(2)) == expected_total(2)
+
+
+class TestStragglerMasking:
+    def test_all_workers_slow_still_correct(self):
+        """Uniform slowness changes wall time, never results."""
+        mem = sum_memory()
+        inj = SlowNodeInjector({"calypso-0", "calypso-1"}, delay=0.005)
+        report = CalypsoRuntime(workers=2, fault_injector=inj).execute_step(
+            sum_step(), mem
+        )
+        assert report.faults_masked == 0  # slowness is not a fault
+        assert inj.delays_injected == report.executions
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total()
+
+    def test_slow_node_masked_by_eager_duplication(self):
+        """A straggling worker never corrupts the committed state: fast
+        workers eagerly duplicate its in-flight tasks and the first
+        completed execution of each logical task wins exactly once."""
+        mem = sum_memory(n_chunks=8)
+        inj = SlowNodeInjector({"calypso-0"}, delay=0.02)
+        runtime = CalypsoRuntime(
+            workers=4, fault_injector=inj, eager_duplication=True
+        )
+        report = runtime.execute_step(sum_step(copies=8), mem)
+        assert report.tasks == 8
+        assert report.executions == report.tasks + report.duplicates
+        assert sum(mem[f"p{i}"] for i in range(8)) == expected_total(8)
+
+    def test_slow_node_without_duplication_still_correct(self):
+        mem = sum_memory(n_chunks=4)
+        inj = SlowNodeInjector({"calypso-0"}, delay=0.005)
+        runtime = CalypsoRuntime(
+            workers=2, fault_injector=inj, eager_duplication=False
+        )
+        report = runtime.execute_step(sum_step(copies=4), mem)
+        assert report.duplicates == 0
+        assert sum(mem[f"p{i}"] for i in range(4)) == expected_total(4)
 
 
 class TestValidation:

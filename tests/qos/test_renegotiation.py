@@ -115,3 +115,66 @@ class TestRenegotiate:
             if old.chain_index != new.chain_index
         )
         assert result.path_switches == switches
+
+
+class TestRenegotiateEdgeCases:
+    def _late_batch(self):
+        """Admitted jobs none of which starts before t=10."""
+        params = SyntheticParams(x=8, t=10.0, alpha=0.5, laxity=0.6)
+        arb = QoSArbitrator(16)
+        jobs = {}
+        for i in range(6):
+            job = params.tunable_job(release=10.0 + 6.0 * i)
+            jobs[job.job_id] = job
+            arb.submit(job)
+        return arb, jobs
+
+    def test_change_before_first_release(self):
+        """A change before anything starts re-plans the entire batch."""
+        arb, jobs = self._late_batch()
+        result = renegotiate(arb.schedule, CapacityChange(5.0, 16), jobs)
+        assert result.finished == ()
+        assert result.carried == ()
+        assert len(result.reallocated) + len(result.dropped) == arb.admitted
+        # Same capacity, empty machine: every job is re-admitted.
+        assert result.dropped == ()
+        result.schedule.profile.check_invariants()
+        for _old, new in result.reallocated:
+            new.validate()
+
+    def test_change_after_all_finished(self, loaded):
+        """A change after the last finish touches nothing."""
+        arb, jobs = loaded
+        tau = max(cp.finish for cp in arb.schedule.placements) + 1.0
+        result = renegotiate(arb.schedule, CapacityChange(tau, 4), jobs)
+        assert len(result.finished) == arb.admitted
+        assert result.carried == ()
+        assert result.reallocated == ()
+        assert result.dropped == ()
+
+    def _single_running(self, capacity=16):
+        """One admitted rigid job whose tall (8-wide) task spans t=5."""
+        params = SyntheticParams(x=8, t=10.0, alpha=0.5, laxity=0.6)
+        arb = QoSArbitrator(capacity)
+        job = params.rigid_job(1, release=0.0)  # tall task first
+        decision = arb.submit(job)
+        assert decision.admitted
+        return arb, {job.job_id: job}, decision.placement
+
+    def test_running_placement_exactly_at_boundary_carried(self):
+        """A running 8-wide task survives a drop to exactly 8 processors."""
+        arb, jobs, cp = self._single_running()
+        assert cp.placements[0].processors == 8
+        tau = cp.placements[0].start + cp.placements[0].duration / 2
+        result = renegotiate(arb.schedule, CapacityChange(tau, 8), jobs)
+        assert [c.job_id for c in result.carried] == [cp.job_id]
+        assert result.dropped == ()
+        result.schedule.profile.check_invariants()
+
+    def test_running_placement_one_below_boundary_dropped(self):
+        """One processor fewer and the rigid reservation cannot be carried."""
+        arb, jobs, cp = self._single_running()
+        tau = cp.placements[0].start + cp.placements[0].duration / 2
+        result = renegotiate(arb.schedule, CapacityChange(tau, 7), jobs)
+        assert result.carried == ()
+        assert list(result.dropped) == [cp.job_id]

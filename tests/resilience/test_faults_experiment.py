@@ -1,0 +1,70 @@
+"""The faults experiment: tunability dominates survival at committed defaults."""
+
+import pytest
+
+from repro.experiments.faults import (
+    DEFAULT_FAULT_MODEL,
+    DEFAULT_FAULT_RATES,
+    render_faults,
+    run_faults,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_faults(n_jobs=800)
+
+
+class TestFaultsExperiment:
+    def test_committed_defaults_perturb(self):
+        assert DEFAULT_FAULT_MODEL.overrun_prob > 0
+        assert DEFAULT_FAULT_MODEL.burst_rate > 0
+        assert 0.0 in DEFAULT_FAULT_RATES  # the overruns/bursts-only point
+        assert any(r > 0 for r in DEFAULT_FAULT_RATES)
+
+    def test_structure(self, result):
+        assert result.axis == "fault_rate"
+        assert result.values == tuple(DEFAULT_FAULT_RATES)
+        assert result.systems == ("tunable", "shape1", "shape2")
+        for value in result.values:
+            for system in result.systems:
+                r = result.rows[value][system].resilience
+                assert r["affected"] == (
+                    r["survived"] + r["dropped"] + r["deadline_misses"]
+                )
+
+    def test_tunable_survival_dominates_both_rigids(self, result):
+        """The experiment's headline claim, at every committed rate."""
+        for value in result.values:
+            row = result.rows[value]
+            tun = row["tunable"].resilience["survival_rate"]
+            assert tun >= row["shape1"].resilience["survival_rate"], value
+            assert tun >= row["shape2"].resilience["survival_rate"], value
+
+    def test_only_tunable_switches_paths(self, result):
+        switched = 0
+        for value in result.values:
+            row = result.rows[value]
+            switched += row["tunable"].resilience["path_switches"]
+            assert row["shape1"].resilience["path_switches"] == 0
+            assert row["shape2"].resilience["path_switches"] == 0
+        assert switched > 0
+
+    def test_capacity_lost_grows_with_fault_rate(self, result):
+        losses = [
+            result.rows[v]["tunable"].resilience["capacity_lost"]
+            for v in result.values
+        ]
+        assert losses[0] == 0.0  # rate 0: overruns/bursts only
+        assert losses[-1] > 0.0
+
+    def test_registered(self):
+        assert "faults" in EXPERIMENTS
+
+    def test_render(self, result):
+        text = render_faults(result)
+        assert "survival" in text
+        assert "switches" in text
+        # Small rates must not be swallowed by fixed-precision formatting.
+        assert "0.0003" in text

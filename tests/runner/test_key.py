@@ -7,6 +7,7 @@ import pytest
 from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import ConfigurationError
+from repro.resilience.events import FaultModel
 from repro.runner import sweep_config_from_dict, sweep_config_to_dict, unit_key
 from repro.workloads.sweep import SweepConfig
 
@@ -35,6 +36,27 @@ class TestConfigRoundTrip:
     def test_json_survives_params(self):
         cfg = replace(SweepConfig(), params=SweepConfig().params.with_alpha(0.25))
         assert sweep_config_from_dict(sweep_config_to_dict(cfg)) == cfg
+
+    def test_faults_round_trip(self):
+        cfg = replace(
+            SweepConfig(),
+            faults=FaultModel(
+                fault_rate=3e-4,
+                fault_severity=0.375,
+                mean_repair=250.0,
+                overrun_prob=0.1,
+                overrun_excess=0.4,
+                burst_rate=1e-4,
+                burst_size=3,
+            ),
+        )
+        back = sweep_config_from_dict(sweep_config_to_dict(cfg))
+        assert back == cfg
+        assert back.faults == cfg.faults
+
+    def test_no_faults_round_trips_as_none(self):
+        back = sweep_config_from_dict(sweep_config_to_dict(SweepConfig()))
+        assert back.faults is None
 
     def test_malformed_payload_raises(self):
         with pytest.raises(ConfigurationError, match="malformed"):
@@ -66,6 +88,8 @@ class TestUnitKey:
             {"strategy": MalleableStrategy.EARLIEST_FINISH},
             {"policy": TieBreakPolicy.FIRST},
             {"verify": False},
+            {"faults": FaultModel(fault_rate=1e-4)},
+            {"faults": FaultModel(overrun_prob=0.2)},
         ],
     )
     def test_every_config_field_changes_key(self, change):
@@ -74,9 +98,24 @@ class TestUnitKey:
             replace(base, **change), "tunable"
         )
 
-    @pytest.mark.parametrize("axis,value", [("laxity", 0.3), ("alpha", 0.25)])
+    @pytest.mark.parametrize(
+        "axis,value", [("laxity", 0.3), ("alpha", 0.25), ("fault_rate", 1e-4)]
+    )
     def test_params_fields_change_key(self, axis, value):
         base = SweepConfig()
         assert unit_key(base, "tunable") != unit_key(
             base.with_axis(axis, value), "tunable"
         )
+
+    def test_fault_model_fields_change_key(self):
+        base = replace(SweepConfig(), faults=FaultModel(fault_rate=1e-4))
+        for change in (
+            {"fault_severity": 0.5},
+            {"mean_repair": 100.0},
+            {"overrun_prob": 0.3},
+            {"overrun_excess": 0.9},
+            {"burst_rate": 2e-4},
+            {"burst_size": 8},
+        ):
+            varied = replace(base, faults=replace(base.faults, **change))
+            assert unit_key(base, "tunable") != unit_key(varied, "tunable"), change

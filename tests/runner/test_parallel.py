@@ -9,8 +9,9 @@ from dataclasses import replace
 
 import pytest
 
+import repro.runner.core as runner_core
 from repro.runner import ExperimentRunner, RunnerConfig, using_runner
-from repro.runner.worker import _crashing_chunk, _slow_chunk
+from repro.runner.worker import _crashing_chunk, _interrupting_chunk, _slow_chunk
 from repro.workloads.replicate import replicate_point
 from repro.workloads.sweep import SweepConfig, run_sweep
 
@@ -153,6 +154,64 @@ class TestFailurePaths:
         rescued = run_sweep("interval", VALUES[:1], CFG, runner=slow)
         assert _rows(serial) == _rows(rescued)
         assert slow.perf_snapshot()["pool_chunk_failures"] >= 1
+
+    def test_inline_interrupt_flushes_completed_units(
+        self, tmp_path, monkeypatch
+    ):
+        """Ctrl-C between inline units loses only the unit in flight."""
+        real_run_point = runner_core.run_point
+        calls = {"n": 0}
+
+        def interrupting_run_point(config, system):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                raise KeyboardInterrupt
+            return real_run_point(config, system)
+
+        monkeypatch.setattr(runner_core, "run_point", interrupting_run_point)
+        units = [(CFG.with_axis("interval", v), "tunable") for v in VALUES]
+        interrupted = ExperimentRunner(RunnerConfig(jobs=1, cache_dir=tmp_path))
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run_units(units)
+        snap = interrupted.perf_snapshot()
+        assert snap["interrupted_batches"] == 1
+        assert snap["cache_stores"] == 2  # the two completed units
+
+        monkeypatch.setattr(runner_core, "run_point", real_run_point)
+        resumed = ExperimentRunner(RunnerConfig(jobs=1, cache_dir=tmp_path))
+        metrics = resumed.run_units(units)
+        assert len(metrics) == len(units)
+        snap = resumed.perf_snapshot()
+        assert snap["cache_hits"] == 2
+        assert snap["cache_misses"] == 1
+
+    def test_pool_interrupt_cancels_and_flushes(self, tmp_path):
+        """A worker-relayed Ctrl-C re-raises after flushing earlier chunks.
+
+        The interrupting unit is submitted last (chunk_size=1 keeps units
+        in their own chunks, results are consumed in submission order),
+        so every earlier unit's result is flushed before the interrupt
+        propagates.
+        """
+        units = [(CFG.with_axis("interval", v), "tunable") for v in VALUES]
+        units.append((CFG, "shape2"))  # the marked interrupter, last
+        interrupted = ExperimentRunner(
+            RunnerConfig(jobs=2, cache_dir=tmp_path, chunk_size=1),
+            _chunk_fn=_interrupting_chunk,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            interrupted.run_units(units)
+        snap = interrupted.perf_snapshot()
+        assert snap["pool_interrupts"] == 1
+        assert snap["interrupted_batches"] == 1
+        assert snap["cache_stores"] == len(VALUES)
+
+        resumed = ExperimentRunner(RunnerConfig(jobs=1, cache_dir=tmp_path))
+        metrics = resumed.run_units(units[:-1])
+        assert len(metrics) == len(VALUES)
+        snap = resumed.perf_snapshot()
+        assert snap["cache_hits"] == len(VALUES)
+        assert snap["cache_misses"] == 0
 
     def test_perf_snapshot_shape(self, tmp_path):
         runner = ExperimentRunner(RunnerConfig(jobs=2, cache_dir=tmp_path))

@@ -110,3 +110,29 @@ class TestMetricsRoundTrip:
     def test_version_check(self):
         with pytest.raises(ConfigurationError):
             metrics_from_dict({"version": 0})
+
+    def test_resilience_block_roundtrip(self, params):
+        """A perturbed run's nested resilience block survives the JSON hop
+        exactly (it is how the result cache persists fault experiments)."""
+        from repro.resilience.events import FaultModel, generate_trace
+        from repro.resilience.simulator import simulate_resilient
+
+        arrivals = list(PoissonArrivals(8.0, RandomStreams(1)).times(60))
+        trace = generate_trace(
+            FaultModel(fault_rate=2e-3, mean_repair=50.0, overrun_prob=0.15),
+            RandomStreams(1),
+            horizon=arrivals[-1] + 100.0,
+            base_capacity=8,
+            n_arrivals=60,
+        )
+        assert not trace.empty
+        arb = QoSArbitrator(8, keep_placements=True)
+        metrics = simulate_resilient(
+            arb, lambda i, r: params.tunable_job(r), arrivals, trace
+        )
+        assert metrics.resilience  # the block is populated
+        payload = metrics_to_dict(metrics)
+        assert "resilience" in payload
+        back = metrics_from_dict(payload)
+        assert back == metrics
+        assert back.resilience == metrics.resilience

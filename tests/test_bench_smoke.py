@@ -43,6 +43,12 @@ def test_run_bench_quick(tmp_path):
     assert sweep["warm_cache_hits"] == sweep["units"]
     assert sweep["warm_cache_misses"] == 0
     assert sweep["speedup_warm_cache"] > 1.0
+    resilience = report["resilience"]
+    assert resilience["zero_event_identical"] is True
+    assert resilience["events"] > 0
+    assert resilience["affected"] >= resilience["path_switches"]
+    assert 0.0 <= resilience["survival_rate"] <= 1.0
+    assert resilience["jobs_per_sec"] > 0
 
 
 def test_committed_report_is_current_shape():
@@ -66,3 +72,7 @@ def test_committed_report_is_current_shape():
     # generating host's core count — recorded in sweep["cpus"] — so it is
     # documented, not asserted.)
     assert sweep["speedup_warm_cache"] >= 10.0
+    resilience = committed["resilience"]
+    assert resilience["zero_event_identical"] is True
+    assert resilience["events"] > 0
+    assert 0.0 <= resilience["survival_rate"] <= 1.0
