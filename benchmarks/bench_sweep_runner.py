@@ -83,11 +83,17 @@ def run_sweep_runner_bench(
         raise AssertionError(f"executions disagree: {checksums}")
 
     units = len(values) * len(serial.systems)
+    cpus = os.cpu_count()
     return {
         "units": units,
         "n_jobs_per_point": n_jobs_per_point,
         "workers": workers,
-        "cpus": os.cpu_count(),
+        "cpus": cpus,
+        # Parallel speedup is bounded by the host's core count: on a
+        # CPU-bound host (fewer cores than workers, e.g. a 1-CPU CI
+        # container) ``speedup_parallel_cold`` measures process-pool
+        # overhead, not the runner, and must not be read as a regression.
+        "cpu_bound": cpus is None or cpus < workers,
         "serial_seconds": round(t_serial, 6),
         "parallel_cold_seconds": round(t_cold, 6),
         "warm_cache_seconds": round(t_warm, 6),

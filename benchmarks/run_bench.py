@@ -16,6 +16,11 @@ Two sections:
   in parallel over worker processes with a cold content-addressed result
   cache, and again warm — with checksums proving all three executions
   produced identical metrics.
+* ``fragmentation`` — decision latency vs live-profile segment count for
+  the three ``earliest_fit`` scan back-ends (:mod:`bench_fragmentation`),
+  with checksum guards proving every back-end and prune mode makes
+  bit-identical admission decisions, and a hard >=5x tree-vs-scalar
+  requirement at 10k segments.
 * ``resilience`` — the fault-aware simulation loop
   (:mod:`repro.resilience`): a zero-event run checked bit-identical
   against the baseline simulator (the subsystem's no-overhead-when-idle
@@ -52,6 +57,7 @@ from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
     run_area_query_bench,
     run_reserve_fit_bench,
 )
+from bench_fragmentation import run_fragmentation_bench  # noqa: E402
 from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
 from repro.core.arbitrator import QoSArbitrator  # noqa: E402
 from repro.core.profile import AvailabilityProfile  # noqa: E402
@@ -219,6 +225,7 @@ def generate(quick: bool = False) -> dict:
             2,
         )
         resilience_n = 300
+        frag_decisions, frag_counts = 60, (100, 1_000)
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
         sweep_n, sweep_values, sweep_workers = (
@@ -227,6 +234,7 @@ def generate(quick: bool = False) -> dict:
             4,
         )
         resilience_n = 2_000
+        frag_decisions, frag_counts = 150, (100, 1_000, 10_000)
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
@@ -243,6 +251,7 @@ def generate(quick: bool = False) -> dict:
         "sweep": run_sweep_runner_bench(
             sweep_n, sweep_values, workers=sweep_workers
         ),
+        "fragmentation": run_fragmentation_bench(frag_decisions, frag_counts),
         "resilience": run_resilience_bench(resilience_n),
     }
 
@@ -272,14 +281,22 @@ def main(argv: list[str] | None = None) -> int:
         f"p95={report['arrival']['decision_p95_us']}us"
     )
     sweep = report["sweep"]
+    bound = " [cpu-bound host]" if sweep.get("cpu_bound") else ""
     print(
         f"  sweep ({sweep['units']} units, {sweep['workers']} workers, "
         f"{sweep['cpus']} cpus): serial={sweep['serial_seconds']}s "
         f"parallel-cold={sweep['parallel_cold_seconds']}s "
-        f"({sweep['speedup_parallel_cold']}x) "
+        f"({sweep['speedup_parallel_cold']}x{bound}) "
         f"warm-cache={sweep['warm_cache_seconds']}s "
         f"({sweep['speedup_warm_cache']}x), checksums match"
     )
+    for point in report["fragmentation"]["points"]:
+        print(
+            f"  fragmentation @ {point['segments']} segments: "
+            f"scalar p50={point['backends']['scalar']['p50_us']}us "
+            f"tree p50={point['backends']['tree']['p50_us']}us "
+            f"({point['speedup_tree_vs_scalar_p50']}x), decisions identical"
+        )
     resilience = report["resilience"]
     print(
         f"  resilience ({resilience['jobs']} jobs, "

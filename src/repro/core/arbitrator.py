@@ -65,6 +65,17 @@ class QoSArbitrator:
         Retain every committed placement (memory grows with admitted jobs).
     compact:
         Compact the availability profile to each arrival time.
+    backend:
+        Availability-profile scan back-end (see
+        :data:`~repro.core.profile.PROFILE_BACKENDS`).  ``"tree"`` keeps
+        decision latency sublinear in schedule fragmentation; decisions are
+        bit-identical across back-ends.
+    prune:
+        Enable the decision-identical candidate prunes (duplicate collapse,
+        failure propagation, incumbent finish capping, quality-ordered
+        short-circuit under MAX_QUALITY — see :mod:`repro.core.greedy`).
+        ``False`` probes every configuration in full; decisions are
+        identical either way.
     seed:
         Seed for the RANDOM tie-break policy only.
     """
@@ -81,10 +92,14 @@ class QoSArbitrator:
         quality_composition: QualityComposition = QualityComposition.PRODUCT,
         keep_placements: bool = True,
         compact: bool = True,
+        backend: str = "auto",
+        prune: bool = True,
         origin: float = 0.0,
         seed: int | None = None,
     ) -> None:
-        self.schedule = Schedule(capacity, origin=origin, keep_placements=keep_placements)
+        self.schedule = Schedule(
+            capacity, origin=origin, keep_placements=keep_placements, backend=backend
+        )
         rng = random.Random(seed) if seed is not None else None
         if malleable:
             self.scheduler: GreedyScheduler = MalleableScheduler(
@@ -93,9 +108,12 @@ class QoSArbitrator:
                 strategy=strategy,
                 min_processors=min_processors,
                 rng=rng,
+                prune=prune,
             )
         else:
-            self.scheduler = GreedyScheduler(self.schedule, policy=policy, rng=rng)
+            self.scheduler = GreedyScheduler(
+                self.schedule, policy=policy, rng=rng, prune=prune
+            )
         self.objective = objective
         self.quality_composition = quality_composition
         self.admission = AdmissionController(self.scheduler, compact=compact)
@@ -145,10 +163,21 @@ class QoSArbitrator:
         """Hot-path instrumentation summary (see :mod:`repro.perf`).
 
         Includes per-submit wall-clock decision latency (``decision_*``),
-        scheduler counters (probes, quick/area rejects, commits, rollbacks)
-        and profile operation stats (``profile_*``).
+        scheduler counters (probes, quick/area rejects, prune counters,
+        commits, rollbacks) and profile operation stats (``profile_*``).
+        The candidate-search counters are always present (0 when the event
+        never fired) so dashboards and tests can read them unconditionally.
         """
-        return self.schedule.perf_snapshot()
+        out = self.schedule.perf_snapshot()
+        for name in (
+            "chains_probed",
+            "chains_quick_rejected",
+            "chains_area_rejected",
+            "chains_pruned_dominated",
+            "chains_pruned_quality",
+        ):
+            out.setdefault(name, 0)
+        return out
 
     # ------------------------------------------------------------------
 
@@ -187,26 +216,63 @@ class QoSArbitrator:
         return decision
 
     def _offer_max_quality(self, job: Job) -> AdmissionDecision:
-        """Admission with quality-first path choice."""
+        """Admission with quality-first path choice.
+
+        With pruning enabled, configurations are probed in descending
+        quality order: the first success pins the achievable quality, and
+        every strictly lower-quality configuration after it is skipped
+        unprobed (counted as ``chains_pruned_quality``) — it cannot be in
+        the quality-tie set the tie-break chooses from.  Equal-quality
+        duplicates sort by submission index, so collapses resolve to the
+        same configuration the exhaustive path picks, and the surviving
+        tie set is re-sorted into submission order before tie-breaking.
+        Decisions are bit-identical to ``prune=False``.
+        """
         admission = self.admission
         if admission.compact:
             self.schedule.compact(job.release)
-        cands = self.scheduler.candidates(job)
-        if not cands:
+        scheduler = self.scheduler
+        if scheduler.prune:
+            qualities = [
+                chain_quality(c, self.quality_composition) for c in job.chains
+            ]
+            order = sorted(range(len(job.chains)), key=lambda i: (-qualities[i], i))
+            probe = scheduler._prober(job, True, True)
+            top: list[ChainPlacement] = []
+            best_q: float | None = None
+            for pos, idx in enumerate(order):
+                if best_q is not None and qualities[idx] < best_q - 1e-12:
+                    self.schedule.perf.count(
+                        "chains_pruned_quality", len(order) - pos
+                    )
+                    break
+                cp = probe(idx)
+                if cp is not None:
+                    if best_q is None:
+                        best_q = qualities[idx]
+                    top.append(cp)
+            top.sort(key=lambda c: c.chain_index)
+        else:
+            cands = scheduler.candidates(job)
+            if cands:
+                best_q = max(
+                    chain_quality(c.chain, self.quality_composition) for c in cands
+                )
+                top = [
+                    c
+                    for c in cands
+                    if chain_quality(c.chain, self.quality_composition)
+                    >= best_q - 1e-12
+                ]
+            else:
+                top = []
+        if not top:
             admission.rejected += 1
             return AdmissionDecision(
                 job.job_id, False, None, reason="no schedulable configuration"
             )
-        best_q = max(
-            chain_quality(c.chain, self.quality_composition) for c in cands
-        )
-        top = [
-            c
-            for c in cands
-            if chain_quality(c.chain, self.quality_composition) >= best_q - 1e-12
-        ]
         chosen: ChainPlacement = select_candidate(
-            self.schedule, top, self.scheduler.policy, self.scheduler.rng
+            self.schedule, top, scheduler.policy, scheduler.rng
         )
         self.schedule.commit(chosen)
         admission.admitted += 1

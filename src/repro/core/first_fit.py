@@ -9,8 +9,9 @@ processors are free throughout ``[s, s + duration)`` and
 The search starts at the segment containing the release time — found by
 bisection, never by scanning from the profile origin — then looks for the
 first *run* of segments with sufficient availability that covers
-``duration``; the run's (release-clamped) start is the answer.  Two
-interchangeable scan back-ends implement that search:
+``duration``; the run's (release-clamped) start is the answer.  Three
+interchangeable scan back-ends implement that search, selected by
+:meth:`AvailabilityProfile.scan_backend`:
 
 * :func:`_scalar_scan` walks segments one by one in Python — O(segments
   scanned past the release), cheapest on small profiles;
@@ -18,18 +19,27 @@ interchangeable scan back-ends implement that search:
   at once — with vectorized comparisons over the profile's NumPy mirrors
   (:meth:`AvailabilityProfile._mirrors`).  On a 10k-segment profile this is
   an order of magnitude faster than the walk, which is what makes
-  10k-arrival benchmarks tractable.
+  10k-arrival benchmarks tractable — but still O(S) per probe;
+* :func:`_tree_scan` alternates :meth:`SegmentTreeIndex.first_at_least` /
+  :meth:`~repro.core.segtree.SegmentTreeIndex.first_below` descents over
+  the profile's segment-tree index — O(log S) per run examined, *sublinear
+  in fragmentation*, because subtrees whose max availability cannot fit
+  the request are skipped wholesale.
 
-Profiles below :data:`VECTOR_MIN_SEGMENTS` use the scalar walk (the numpy
-fixed overhead loses at that scale), as do profile classes that set
-``VECTORIZED_SCAN = False`` (the legacy baseline in ``benchmarks/``).  Both
-back-ends return bit-identical results — a hypothesis test drives them with
+Under the default ``"auto"`` back-end, profiles below
+:data:`VECTOR_MIN_SEGMENTS` use the scalar walk (the numpy fixed overhead
+loses at that scale), as do profile classes that set ``VECTORIZED_SCAN =
+False`` (the legacy baseline in ``benchmarks/``); larger profiles use the
+vectorized scan.  The tree is an explicit opt-in for query-dominated
+fragmented regimes (see the :mod:`repro.core.profile` module docs).  All
+back-ends return bit-identical results — property tests drive them with
 the same random profiles, and the maximal-holes formulation in
-:mod:`repro.core.holes` provides a third, independent oracle.
+:mod:`repro.core.holes` provides an independent oracle.
 
 Each call bumps the profile's :class:`~repro.perf.ProfileStats` probe
 counters (``probes``, ``probe_segments``) so decision cost stays observable
-at simulation scale.
+at simulation scale.  (For the tree back-end ``probe_segments`` counts
+*tree nodes visited*, the cost driver of that search.)
 """
 
 from __future__ import annotations
@@ -39,16 +49,14 @@ from bisect import bisect_right
 
 import numpy as np
 
-from repro.core.profile import AvailabilityProfile
+from repro.core.profile import (
+    TREE_MIN_SEGMENTS,
+    VECTOR_MIN_SEGMENTS,
+    AvailabilityProfile,
+)
 from repro.core.resources import TIME_EPS
 
-__all__ = ["earliest_fit"]
-
-#: Segment count below which the scalar walk beats the vectorized scan's
-#: fixed per-call numpy overhead (empirically the crossover sits around
-#: 50–80 segments).  Compacted figure-level profiles stay well under this;
-#: growth-mode benchmark profiles sit well over it.
-VECTOR_MIN_SEGMENTS = 64
+__all__ = ["earliest_fit", "TREE_MIN_SEGMENTS", "VECTOR_MIN_SEGMENTS"]
 
 
 def earliest_fit(
@@ -91,7 +99,10 @@ def earliest_fit(
     # Segment containing the release instant (bisected, never scanned).
     i = max(bisect_right(times, release) - 1, 0)
 
-    if profile.VECTORIZED_SCAN and n >= VECTOR_MIN_SEGMENTS:
+    backend = profile.scan_backend()
+    if backend == "tree":
+        return _tree_scan(profile, times, n, i, processors, duration, release, deadline)
+    if backend == "vector":
         return _vector_scan(profile, times, n, i, processors, duration, release, deadline)
     return _scalar_scan(profile, times, n, i, processors, duration, release, deadline)
 
@@ -200,3 +211,59 @@ def _vector_scan(
     if start + duration > deadline + TIME_EPS:
         return None
     return start
+
+
+def _tree_scan(
+    profile: AvailabilityProfile,
+    times: list[float],
+    n: int,
+    i: int,
+    processors: int,
+    duration: float,
+    release: float,
+    deadline: float,
+) -> float | None:
+    """Segment-tree descent search — O(log S) per candidate run.
+
+    Run starts are located with ``first_at_least`` (first segment at or
+    after an index with enough free processors) and run ends with
+    ``first_below`` (first segment that breaks the run); each is one
+    root-to-leaf descent that skips subtrees whose max/min availability
+    disqualifies them.  The float comparisons are exactly the scalar
+    walk's (same subtractions, same TIME_EPS slack), so the result is
+    bit-identical to both other back-ends.
+    """
+    stats = profile.stats
+    tree = profile._tree()  # noqa: SLF001 - hot path, same package
+    avail = profile._avail  # noqa: SLF001
+    before = tree.visited
+
+    if avail[i] >= processors:
+        # The release segment itself opens a run.
+        j = i
+        run_start = release
+    else:
+        j = tree.first_at_least(i + 1, processors)
+        if j < 0:
+            stats.probe_segments += tree.visited - before
+            return None  # trailing segment deficient: never fits
+        run_start = times[j]  # > release since j > i by choice of i
+        if run_start + duration > deadline + TIME_EPS:
+            stats.probe_segments += tree.visited - before
+            return None
+    while True:
+        k = tree.first_below(j + 1, processors)
+        end_t = times[k] if 0 <= k < n else math.inf
+        if end_t - run_start >= duration - TIME_EPS:
+            stats.probe_segments += tree.visited - before
+            if run_start + duration > deadline + TIME_EPS:
+                return None
+            return run_start
+        j = tree.first_at_least(k + 1, processors)
+        if j < 0:
+            stats.probe_segments += tree.visited - before
+            return None
+        run_start = times[j]
+        if run_start + duration > deadline + TIME_EPS:
+            stats.probe_segments += tree.visited - before
+            return None

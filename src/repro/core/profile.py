@@ -45,21 +45,69 @@ mutation).  The :func:`~repro.core.first_fit.earliest_fit` search uses them
 to locate and feasibility-test runs of sufficient availability with
 vectorized comparisons instead of a per-segment Python loop — the
 difference between ~500µs and ~30µs per probe on a 10k-segment profile.
+
+Scan back-ends
+--------------
+Three interchangeable back-ends answer fit/min/area queries, selected by
+the ``backend`` constructor argument (resolved per query by
+:meth:`scan_backend`):
+
+* ``"scalar"`` — the per-segment Python walks above (the seed semantics;
+  every other back-end must reproduce its results bit-for-bit);
+* ``"vector"`` — vectorized scans over the NumPy mirrors, O(S) with a much
+  smaller constant;
+* ``"tree"`` — a :class:`~repro.core.segtree.SegmentTreeIndex` over the
+  mirrors (built lazily, kept fresh by O(1) dirty marks from ``_shift`` /
+  ``compact`` plus lazy suffix consolidation), giving O(log S) descents
+  that skip whole subtrees — sublinear in fragmentation;
+* ``"auto"`` (default) — scalar below :data:`VECTOR_MIN_SEGMENTS`, vector
+  beyond.
+
+``"auto"`` deliberately never selects the tree: whether the tree wins
+depends on the probe-to-mutation ratio, which the profile cannot observe,
+not on the segment count alone.  Query-dominated fragmented regimes
+(admission control near saturation, where most submissions probe far and
+commit rarely) should opt in explicitly — that is where the descents are
+orders of magnitude ahead; mutation-heavy streams with random reservation
+positions pay O(S) tree consolidation per op and should not.  See
+``docs/perf.md`` for the measured crossovers.
 """
 
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+from bisect import bisect_left, bisect_right
 from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.errors import CapacityExceededError, ConfigurationError, SchedulingError
 from repro.core.resources import TIME_EPS
+from repro.core.segtree import SegmentTreeIndex
 from repro.perf import ProfileStats
 
-__all__ = ["AvailabilityProfile"]
+__all__ = [
+    "AvailabilityProfile",
+    "PROFILE_BACKENDS",
+    "TREE_MIN_SEGMENTS",
+    "VECTOR_MIN_SEGMENTS",
+]
+
+#: Valid values for the ``backend`` constructor argument.
+PROFILE_BACKENDS = ("auto", "scalar", "vector", "tree")
+
+#: Segment count below which the scalar walk beats the vectorized scan's
+#: fixed per-call numpy overhead (empirically the crossover sits around
+#: 50–80 segments).  Compacted figure-level profiles stay well under this;
+#: growth-mode benchmark profiles sit well over it.
+VECTOR_MIN_SEGMENTS = 64
+
+#: Segment count from which the ``"tree"`` back-end's O(log S) descents
+#: clearly beat both O(S) scans on *query-dominated* workloads (measured in
+#: ``benchmarks/bench_fragmentation.py``; the CI smoke asserts the win at
+#: 1000 segments).  Advisory: ``"auto"`` never selects the tree — see the
+#: module docs — so opting in is an explicit deployment choice.
+TREE_MIN_SEGMENTS = 1000
 
 
 class AvailabilityProfile:
@@ -72,6 +120,12 @@ class AvailabilityProfile:
     origin:
         The earliest instant described by the profile; all processors are
         free from ``origin`` onward in a fresh profile.
+    backend:
+        Scan back-end for fit/min/area queries — one of
+        :data:`PROFILE_BACKENDS`.  ``"auto"`` (default) picks by segment
+        count; the explicit values force one back-end (used by oracles,
+        equivalence tests and benchmarks).  All back-ends return
+        bit-identical results.
     """
 
     __slots__ = (
@@ -81,6 +135,8 @@ class AvailabilityProfile:
         "_prefix",
         "_np_times",
         "_np_avail",
+        "_backend",
+        "_segtree",
         "stats",
     )
 
@@ -90,11 +146,17 @@ class AvailabilityProfile:
     #: baseline in ``benchmarks/`` sets this False to preserve seed behaviour.
     VECTORIZED_SCAN = True
 
-    def __init__(self, capacity: int, origin: float = 0.0) -> None:
+    def __init__(
+        self, capacity: int, origin: float = 0.0, backend: str = "auto"
+    ) -> None:
         if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity <= 0:
             raise ConfigurationError(f"capacity must be a positive int, got {capacity!r}")
         if math.isnan(origin) or math.isinf(origin):
             raise ConfigurationError(f"origin must be finite, got {origin!r}")
+        if backend not in PROFILE_BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {PROFILE_BACKENDS}, got {backend!r}"
+            )
         self._capacity = capacity
         self._times: list[float] = [origin]
         self._avail: list[int] = [capacity]
@@ -107,6 +169,10 @@ class AvailabilityProfile:
         #: from scratch on the mutation path).
         self._np_times: np.ndarray | None = None
         self._np_avail: np.ndarray | None = None
+        #: Configured scan back-end (see class docs) and the lazily built
+        #: segment-tree index used when it resolves to ``"tree"``.
+        self._backend = backend
+        self._segtree: SegmentTreeIndex | None = None
         #: Always-on operation counters (see :class:`repro.perf.ProfileStats`).
         self.stats = ProfileStats()
 
@@ -123,6 +189,11 @@ class AvailabilityProfile:
     def origin(self) -> float:
         """Earliest instant described by the profile."""
         return self._times[0]
+
+    @property
+    def backend(self) -> str:
+        """Configured scan back-end (``"auto"`` resolves per query)."""
+        return self._backend
 
     @property
     def breakpoints(self) -> tuple[float, ...]:
@@ -167,6 +238,8 @@ class AvailabilityProfile:
         new._prefix = None
         new._np_times = None
         new._np_avail = None
+        new._backend = self._backend
+        new._segtree = None
         new.stats = ProfileStats()
         return new
 
@@ -175,6 +248,7 @@ class AvailabilityProfile:
         cls,
         capacity: int,
         segments: Sequence[tuple[float, int]],
+        backend: str = "auto",
     ) -> "AvailabilityProfile":
         """Build a profile from ``(start_time, available)`` pairs.
 
@@ -183,7 +257,7 @@ class AvailabilityProfile:
         """
         if not segments:
             raise ConfigurationError("from_segments requires at least one segment")
-        prof = cls(capacity, origin=segments[0][0])
+        prof = cls(capacity, origin=segments[0][0], backend=backend)
         times: list[float] = []
         avail: list[int] = []
         prev_t = -math.inf
@@ -240,14 +314,48 @@ class AvailabilityProfile:
             self._np_times = times_m
         return times_m, avail_m
 
+    def scan_backend(self) -> str:
+        """Resolve the back-end answering the next query (never ``"auto"``).
+
+        An explicit constructor choice wins; ``"auto"`` picks scalar or
+        vector by live segment count (see the module docs for why it never
+        picks the tree), and profile classes that disable
+        :attr:`VECTORIZED_SCAN` always walk scalar.
+        """
+        backend = self._backend
+        if backend != "auto":
+            return backend
+        if not self.VECTORIZED_SCAN:
+            return "scalar"
+        if len(self._times) >= VECTOR_MIN_SEGMENTS:
+            return "vector"
+        return "scalar"
+
+    def _tree(self) -> SegmentTreeIndex:
+        """The consolidated segment-tree index (built on first use)."""
+        times_m, avail_m = self._mirrors()
+        tree = self._segtree
+        if tree is None:
+            tree = SegmentTreeIndex(times_m, avail_m)
+            self._segtree = tree
+        else:
+            tree.consolidate(times_m, avail_m)
+        return tree
+
     def min_available(self, t0: float, t1: float) -> int:
         """Minimum free processors over the interval ``[t0, t1)``.
 
         Degenerate intervals (``t1 <= t0``) report availability at ``t0``.
+        O(window) on the scalar/vector back-ends, O(log S) on the tree.
         """
         if t1 <= t0:
             return self.available_at(t0)
         i = self._index_at(t0)
+        if self.scan_backend() == "tree":
+            # Same window as the scalar walk below: segment i plus every
+            # later segment starting strictly before t1 - TIME_EPS.
+            hi = max(bisect_left(self._times, t1 - TIME_EPS), i + 1)
+            return self._tree().range_min(i, hi)
         lo = self._avail[i]
         n = len(self._times)
         i += 1
@@ -279,7 +387,7 @@ class AvailabilityProfile:
             self.stats.prefix_rebuilds += 1
         return prefix
 
-    def _cumulative_free(self, t: float, prefix: list[float]) -> float:
+    def _cumulative_free(self, t: float, prefix: "Sequence[float] | np.ndarray") -> float:
         """Free area integrated over ``[origin, t)`` (``t >= origin``)."""
         times = self._times
         i = bisect_right(times, t) - 1
@@ -300,6 +408,14 @@ class AvailabilityProfile:
         if t0 < self._times[0] - TIME_EPS:
             raise SchedulingError(
                 f"time {t0} precedes profile origin {self._times[0]}"
+            )
+        if self.scan_backend() == "tree":
+            # The tree's incrementally maintained prefix is bit-identical to
+            # the list prefix (same sequential accumulation) but avoids the
+            # O(S) Python rebuild after every mutation.
+            prefix = self._tree().prefix()
+            return float(
+                self._cumulative_free(t1, prefix) - self._cumulative_free(t0, prefix)
             )
         prefix = self._ensure_prefix()
         return self._cumulative_free(t1, prefix) - self._cumulative_free(t0, prefix)
@@ -421,6 +537,12 @@ class AvailabilityProfile:
             self._np_times = np.concatenate(
                 (mirror[:i], np.asarray(new_times, dtype=np.float64), mirror[hi:])
             )
+        tree = self._segtree
+        if tree is not None:
+            # Leaf i-1's *width* changes when the window starts at breakpoint
+            # i and merges into the left border segment, so the dirty suffix
+            # starts one leaf early.
+            tree.mark_dirty(i - 1 if i > 0 else 0)
         self._prefix = None
         stats = self.stats
         stats.shift_ops += 1
@@ -476,6 +598,9 @@ class AvailabilityProfile:
             mirror = mirror[i:].copy()
             mirror[0] = self._times[0]
             self._np_times = mirror
+        tree = self._segtree
+        if tree is not None:
+            tree.mark_dirty(0)  # every leaf index shifts left by i
         self._prefix = None
         self.stats.compactions += 1
 
@@ -502,3 +627,8 @@ class AvailabilityProfile:
         mirror = self._np_times
         if mirror is not None and list(mirror) != self._times:
             raise SchedulingError("NumPy breakpoint mirror out of sync")
+        if self._segtree is not None:
+            try:
+                self._tree().check_against(self._times, self._avail)
+            except AssertionError as exc:
+                raise SchedulingError(str(exc)) from exc

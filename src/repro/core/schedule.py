@@ -37,12 +37,20 @@ class Schedule:
         simulations that only need aggregate metrics may disable this to
         keep memory flat; consistency auditing then only covers the profile
         invariants.
+    backend:
+        Scan back-end for the owned availability profile (see
+        :data:`~repro.core.profile.PROFILE_BACKENDS`); all back-ends make
+        bit-identical scheduling decisions.
     """
 
     def __init__(
-        self, capacity: int, origin: float = 0.0, keep_placements: bool = True
+        self,
+        capacity: int,
+        origin: float = 0.0,
+        keep_placements: bool = True,
+        backend: str = "auto",
     ) -> None:
-        self.profile = AvailabilityProfile(capacity, origin=origin)
+        self.profile = AvailabilityProfile(capacity, origin=origin, backend=backend)
         self.perf = PerfRecorder()
         self._keep = keep_placements
         self._placements: list[ChainPlacement] = []

@@ -1,0 +1,347 @@
+"""Hierarchical summary index over an availability profile's segments.
+
+The scalar ``earliest_fit`` walk and the ``min_available`` loop in
+:mod:`repro.core.profile` are O(segments) per probe; the vectorized mirror
+scan in :mod:`repro.core.first_fit` lowers the constant (one C-level pass)
+but stays O(segments).  Once a schedule fragments into thousands of live
+segments, admission-decision latency is dominated by those scans.  This
+module provides the third back-end: a flat-array **segment tree** over the
+profile's segment list whose per-node aggregates let fit probes *skip whole
+subtrees* that cannot possibly satisfy the request.
+
+Aggregates maintained per node:
+
+* ``max`` availability — powers :meth:`first_at_least`, the tree descent
+  behind the O(log S)-per-run ``earliest_fit`` search (a subtree whose max
+  availability is below the requested processor count cannot contain the
+  start of a feasible run and is skipped wholesale);
+* ``min`` availability — powers :meth:`first_below` (run-end location:
+  the first segment that *breaks* a run) and :meth:`range_min`
+  (O(log S) ``min_available``);
+* a **free-area prefix array** over the leaves — O(log S) ``free_area``
+  that is *bit-identical* to the profile's lazily rebuilt list prefix.
+  The prefix is kept as a leaf-level summary rather than per-node partial
+  sums deliberately: admission decisions threshold on free areas, so the
+  tree back-end must reproduce the scalar oracle's floating-point results
+  exactly, and only a fixed left-to-right summation order guarantees that.
+  Sequential accumulation has the property that re-summing a suffix from
+  the carried prefix value is bit-identical to re-summing from scratch,
+  which is what makes the incremental splice below exact.
+
+Incremental maintenance
+-----------------------
+The profile mutates through windowed splices (:meth:`AvailabilityProfile._shift`)
+and origin trims (:meth:`~repro.core.profile.AvailabilityProfile.compact`);
+``Schedule.commit``/``rollback`` are sequences of such splices, so the tree
+survives rollback with no special casing.  Each mutation calls
+:meth:`mark_dirty` with the leftmost affected leaf — an O(1) bookkeeping
+write.  The next query calls :meth:`consolidate`, which re-derives the
+dirty *suffix* of the leaf level from the profile's NumPy mirrors and
+recomputes only the ancestor slices covering it, level by level, entirely
+with vectorized operations.  Consecutive mutations between queries (a
+chain commit is one reservation per task) coalesce into a single
+consolidation.  The work per consolidation is O(S - dirty_from) at C speed
+— the same complexity class as the mirror splice the profile already pays
+— and frontier mutations (the common case: reservations near the end of
+the profile) touch only a short suffix.
+
+The tree is built lazily on the first tree-back-end query and never exists
+— costing nothing — unless that back-end is used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["SegmentTreeIndex"]
+
+#: Padding for leaves beyond the live segment count: never satisfies
+#: ``avail >= processors`` (max tree) ...
+_MAX_PAD = -1
+#: ... and never satisfies ``avail < processors`` (min tree).
+_MIN_PAD = 1 << 62
+
+
+class SegmentTreeIndex:
+    """Flat-array segment tree of (min, max) availability + area prefix.
+
+    Nodes live in two ``int64`` arrays of length ``2*m`` (``m`` = leaf
+    capacity, a power of two, root at index 1, leaves at ``[m, m+n)``).
+    Query results are **bit-identical** to the scalar walks they replace:
+    the descents compare the same integer availabilities, and the area
+    prefix replicates the profile's sequential float accumulation.
+
+    Instances are created and owned by
+    :class:`~repro.core.profile.AvailabilityProfile`; all indices are
+    segment (leaf) indices into the profile's ``_times``/``_avail`` arrays.
+    """
+
+    __slots__ = (
+        "_m",
+        "_n",
+        "_tmin",
+        "_tmax",
+        "_lmin",
+        "_lmax",
+        "_prefix",
+        "_dirty_from",
+        "visited",
+        "rebuilds",
+        "splices",
+    )
+
+    def __init__(self, times: np.ndarray, avail: np.ndarray) -> None:
+        #: Tree nodes visited by descents (the tree back-end's analogue of
+        #: ``ProfileStats.probe_segments``; see :mod:`repro.perf`).
+        self.visited = 0
+        #: Full vectorized rebuilds (initial build, growth past capacity).
+        self.rebuilds = 0
+        #: Incremental suffix consolidations applied.
+        self.splices = 0
+        self._dirty_from: int | None = None
+        self._build(times, avail)
+
+    # ------------------------------------------------------------------
+    # Construction and maintenance
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of live leaves (profile segments) indexed."""
+        return self._n
+
+    @property
+    def leaf_capacity(self) -> int:
+        """Allocated leaf slots (power of two, >= :attr:`n`)."""
+        return self._m
+
+    def _build(self, times: np.ndarray, avail: np.ndarray) -> None:
+        n = int(avail.shape[0])
+        m = 1
+        while m < n:
+            m <<= 1
+        tmin = np.full(2 * m, _MIN_PAD, dtype=np.int64)
+        tmax = np.full(2 * m, _MAX_PAD, dtype=np.int64)
+        tmin[m : m + n] = avail
+        tmax[m : m + n] = avail
+        lo = m
+        while lo > 1:
+            tmin[lo >> 1 : lo] = np.minimum(tmin[lo : 2 * lo : 2], tmin[lo + 1 : 2 * lo : 2])
+            tmax[lo >> 1 : lo] = np.maximum(tmax[lo : 2 * lo : 2], tmax[lo + 1 : 2 * lo : 2])
+            lo >>= 1
+        seq = np.empty(n, dtype=np.float64)
+        seq[0] = 0.0
+        if n > 1:
+            seq[1:] = avail[: n - 1] * np.diff(times)
+        self._m = m
+        self._n = n
+        self._tmin = tmin
+        self._tmax = tmax
+        # Plain-list shadows of the node arrays for the descents: indexing a
+        # Python list is several times cheaper per node visit than pulling
+        # NumPy scalars, and the descents are the query hot path.  The
+        # shadows are refreshed by C-speed ``tolist`` slice assignments.
+        self._lmin = tmin.tolist()
+        self._lmax = tmax.tolist()
+        self._prefix = np.cumsum(seq)
+        self._dirty_from = None
+        self.rebuilds += 1
+
+    def mark_dirty(self, from_idx: int) -> None:
+        """Note that leaves at or after ``from_idx`` changed (O(1)).
+
+        Callers pass the leftmost leaf whose value *or width* may have
+        changed (``_shift`` passes its splice index minus one, since the
+        left border segment's width changes when the splice absorbs its
+        right breakpoint).
+        """
+        d = self._dirty_from
+        if d is None or from_idx < d:
+            self._dirty_from = from_idx if from_idx > 0 else 0
+
+    def consolidate(self, times: np.ndarray, avail: np.ndarray) -> None:
+        """Apply pending dirt against the current profile mirrors.
+
+        Rebuilds from scratch (vectorized O(S)) when the leaf count
+        outgrew capacity or shrank far below it; otherwise recomputes the
+        dirty leaf suffix and the ancestor slices above it.
+        """
+        d = self._dirty_from
+        if d is None:
+            return
+        n_new = int(avail.shape[0])
+        m = self._m
+        if n_new > m or (m > 64 and n_new <= m >> 2):
+            self._build(times, avail)
+            return
+        n_old = self._n
+        # Clamp the splice start against *both* lengths: when the profile
+        # grew past the old leaf count, the prefix carry below must read a
+        # value that existed before the splice (rewriting an extra
+        # unchanged leaf is harmless — it recomputes to the same value).
+        j = min(d, n_new - 1, n_old - 1)
+        if j < 0:
+            j = 0
+        tmin = self._tmin
+        tmax = self._tmax
+        tmin[m + j : m + n_new] = avail[j:]
+        tmax[m + j : m + n_new] = avail[j:]
+        if n_new < n_old:
+            tmin[m + n_new : m + n_old] = _MIN_PAD
+            tmax[m + n_new : m + n_old] = _MAX_PAD
+        lmin = self._lmin
+        lmax = self._lmax
+        lo = m + j
+        hi = m + max(n_new, n_old)
+        lmin[lo:hi] = tmin[lo:hi].tolist()
+        lmax[lo:hi] = tmax[lo:hi].tolist()
+        while lo > 1:
+            lo >>= 1
+            hi = ((hi - 1) >> 1) + 1
+            tmin[lo:hi] = np.minimum(tmin[2 * lo : 2 * hi : 2], tmin[2 * lo + 1 : 2 * hi : 2])
+            tmax[lo:hi] = np.maximum(tmax[lo * 2 : 2 * hi : 2], tmax[2 * lo + 1 : 2 * hi : 2])
+            lmin[lo:hi] = tmin[lo:hi].tolist()
+            lmax[lo:hi] = tmax[lo:hi].tolist()
+        # Prefix suffix: sequential accumulation restarted from the carried
+        # value is bit-identical to a from-scratch rebuild (see module docs).
+        seq = np.empty(n_new - j, dtype=np.float64)
+        seq[0] = self._prefix[j]
+        if n_new - j > 1:
+            seq[1:] = avail[j : n_new - 1] * np.diff(times[j:])
+        self._prefix = np.concatenate((self._prefix[:j], np.cumsum(seq)))
+        self._n = n_new
+        self._dirty_from = None
+        self.splices += 1
+
+    # ------------------------------------------------------------------
+    # Queries (leaf/segment indices; caller consolidates first)
+    # ------------------------------------------------------------------
+
+    def prefix(self) -> np.ndarray:
+        """Free-area prefix over the leaves (``prefix[k]`` = area to ``times[k]``)."""
+        return self._prefix
+
+    def first_at_least(self, start: int, processors: int) -> int:
+        """First leaf index ``>= start`` with availability ``>= processors``.
+
+        Returns -1 when no such segment exists.  O(log S): climbs to the
+        first right-hand subtree whose max availability qualifies, then
+        descends to its leftmost qualifying leaf.
+        """
+        if start >= self._n:
+            return -1
+        t = self._lmax
+        m = self._m
+        i = start + m
+        visited = 1
+        if t[i] >= processors:
+            self.visited += visited
+            return start
+        while True:
+            while i & 1:
+                i >>= 1
+            if i == 0:
+                self.visited += visited
+                return -1
+            i += 1
+            visited += 1
+            if t[i] >= processors:
+                break
+        while i < m:
+            i <<= 1
+            visited += 1
+            if t[i] < processors:
+                i += 1
+        self.visited += visited
+        # Padding leaves hold -1 and can never qualify, so i - m < n here.
+        return i - m
+
+    def first_below(self, start: int, processors: int) -> int:
+        """First leaf index ``>= start`` with availability ``< processors``.
+
+        Returns -1 when every segment from ``start`` on qualifies (the run
+        extends through the profile's trailing infinite segment).
+        """
+        if start >= self._n:
+            return -1
+        t = self._lmin
+        m = self._m
+        i = start + m
+        visited = 1
+        if t[i] < processors:
+            self.visited += visited
+            return start
+        while True:
+            while i & 1:
+                i >>= 1
+            if i == 0:
+                self.visited += visited
+                return -1
+            i += 1
+            visited += 1
+            if t[i] < processors:
+                break
+        while i < m:
+            i <<= 1
+            visited += 1
+            if t[i] >= processors:
+                i += 1
+        self.visited += visited
+        # Padding leaves hold a huge sentinel and can never be below.
+        return i - m
+
+    def range_min(self, lo: int, hi: int) -> int:
+        """Minimum availability over leaves ``[lo, hi)`` (non-empty range)."""
+        t = self._lmin
+        m = self._m
+        lo += m
+        hi += m
+        best = _MIN_PAD
+        visited = 0
+        while lo < hi:
+            if lo & 1:
+                if t[lo] < best:
+                    best = t[lo]
+                lo += 1
+                visited += 1
+            if hi & 1:
+                hi -= 1
+                if t[hi] < best:
+                    best = t[hi]
+                visited += 1
+            lo >>= 1
+            hi >>= 1
+        self.visited += visited
+        return int(best)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def check_against(self, times: list[float], avail: list[int]) -> None:
+        """Raise ``AssertionError`` unless the index matches ``times``/``avail``.
+
+        Used by :meth:`AvailabilityProfile.check_invariants`; assumes the
+        caller consolidated first.
+        """
+        n = len(avail)
+        m = self._m
+        if self._n != n:
+            raise AssertionError(f"segtree leaf count {self._n} != {n}")
+        if list(self._tmin[m : m + n]) != avail:
+            raise AssertionError("segtree min leaves out of sync")
+        if list(self._tmax[m : m + n]) != avail:
+            raise AssertionError("segtree max leaves out of sync")
+        for i in range(1, m):
+            lo = int(min(self._tmin[2 * i], self._tmin[2 * i + 1]))
+            hi = int(max(self._tmax[2 * i], self._tmax[2 * i + 1]))
+            if int(self._tmin[i]) != lo or int(self._tmax[i]) != hi:
+                raise AssertionError(f"segtree node {i} aggregate out of sync")
+        if self._lmin != self._tmin.tolist() or self._lmax != self._tmax.tolist():
+            raise AssertionError("segtree list shadows out of sync")
+        acc = 0.0
+        for k in range(n):
+            if self._prefix[k] != acc:
+                raise AssertionError(f"segtree prefix[{k}] {self._prefix[k]} != {acc}")
+            if k + 1 < n:
+                acc += avail[k] * (times[k + 1] - times[k])

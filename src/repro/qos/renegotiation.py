@@ -107,7 +107,9 @@ def renegotiate(
         else:
             future.append(cp)
 
-    new_schedule = Schedule(change.new_capacity, origin=tau)
+    new_schedule = Schedule(
+        change.new_capacity, origin=tau, backend=old_schedule.profile.backend
+    )
     carried: list[ChainPlacement] = []
     dropped: list[int] = []
 

@@ -208,6 +208,7 @@ class RenegotiationDriver:
             event.new_capacity,
             origin=tau,
             keep_placements=self.arbitrator.schedule.keeps_placements,
+            backend=self.arbitrator.schedule.profile.backend,
         )
         self.arbitrator.adopt_schedule(new_schedule)
         running = [

@@ -56,20 +56,35 @@ class EventQueue:
     """A deterministic min-heap of :class:`Event`.
 
     Supports lazy cancellation: :meth:`cancel` marks an event dead; dead
-    events are skipped by :meth:`pop`.
+    events are skipped by :meth:`pop`.  When tombstones come to dominate
+    the heap (a cancel-heavy simulation can cancel far-future events that
+    :meth:`pop` would otherwise carry for its whole run), the heap is
+    compacted in place, so memory tracks the *live* event count rather
+    than the all-time push count.
     """
 
+    #: Compact when at least this many tombstones are pending *and* they
+    #: fill at least half the heap.  The floor keeps tiny queues from
+    #: compacting on every cancel; the ratio amortizes the O(live) rebuild
+    #: against the cancels that earned it.
+    _COMPACT_MIN_DEAD = 64
+
     def __init__(self) -> None:
-        self._heap: list[tuple[tuple[float, int, int], Event]] = []
+        # Heap entries are mutable [sort_key, event, alive] triples so a
+        # cancel can mark the entry in place; sort keys are unique (seq is
+        # the final component), so list comparison never reaches the event.
+        self._heap: list[list] = []
         self._seq = itertools.count()
-        self._dead: set[int] = set()
-        self._live = 0
+        #: Live entries by seq — the cancellation handle.  An entry leaves
+        #: on pop or cancel, making double-cancel a natural no-op.
+        self._entries: dict[int, list] = {}
+        self._dead_pending = 0  # tombstones still sitting in the heap
 
     def __len__(self) -> int:
-        return self._live
+        return len(self._entries)
 
     def __bool__(self) -> bool:
-        return self._live > 0
+        return bool(self._entries)
 
     def push(self, event: Event) -> Event:
         """Insert ``event``; returns the stamped (seq-assigned) event."""
@@ -80,32 +95,53 @@ class EventQueue:
             priority=event.priority,
             seq=next(self._seq),
         )
-        heapq.heappush(self._heap, (stamped.sort_key, stamped))
-        self._live += 1
+        entry = [stamped.sort_key, stamped, True]
+        heapq.heappush(self._heap, entry)
+        self._entries[stamped.seq] = entry
         return stamped
 
     def cancel(self, event: Event) -> None:
-        """Mark a previously pushed event as cancelled (lazy removal)."""
+        """Mark a previously pushed event as cancelled (lazy removal).
+
+        Idempotent: cancelling an event that is already cancelled (or
+        already popped) is a no-op.  Tombstones are dropped lazily by
+        :meth:`pop`/:meth:`peek_time`; when they pile up faster than pops
+        drain them, the heap is rebuilt without them (see the class docs).
+        """
         if event.seq < 0:
             raise SimulationError("cannot cancel an event that was never pushed")
-        if event.seq not in self._dead:
-            self._dead.add(event.seq)
-            self._live -= 1
+        entry = self._entries.pop(event.seq, None)
+        if entry is None:
+            return
+        entry[2] = False
+        self._dead_pending += 1
+        if (
+            self._dead_pending >= self._COMPACT_MIN_DEAD
+            and self._dead_pending * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (O(live) — amortized free)."""
+        self._heap = [entry for entry in self._heap if entry[2]]
+        heapq.heapify(self._heap)
+        self._dead_pending = 0
 
     def peek_time(self) -> float:
         """Time of the next live event (``inf`` when empty)."""
-        while self._heap and self._heap[0][1].seq in self._dead:
-            _, ev = heapq.heappop(self._heap)
-            self._dead.discard(ev.seq)
+        while self._heap and not self._heap[0][2]:
+            heapq.heappop(self._heap)
+            self._dead_pending -= 1
         return self._heap[0][1].time if self._heap else math.inf
 
     def pop(self) -> Event:
         """Remove and return the next live event."""
         while self._heap:
-            _, ev = heapq.heappop(self._heap)
-            if ev.seq in self._dead:
-                self._dead.discard(ev.seq)
+            entry = heapq.heappop(self._heap)
+            if not entry[2]:
+                self._dead_pending -= 1
                 continue
-            self._live -= 1
+            ev = entry[1]
+            del self._entries[ev.seq]
             return ev
         raise SimulationError("pop from an empty event queue")

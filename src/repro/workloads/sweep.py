@@ -56,6 +56,12 @@ class SweepConfig:
     policy: TieBreakPolicy = TieBreakPolicy.PAPER
     verify: bool = True
     faults: FaultModel | None = None
+    #: Availability-profile scan back-end; all back-ends make bit-identical
+    #: decisions (see :data:`repro.core.profile.PROFILE_BACKENDS`).
+    backend: str = "auto"
+    #: Candidate-search pruning; decisions are identical either way (see
+    #: :mod:`repro.core.greedy`).
+    prune: bool = True
 
     def with_axis(self, axis: str, value: float) -> "SweepConfig":
         """Copy of this config with ``axis`` set to ``value``."""
@@ -109,6 +115,8 @@ def run_point(config: SweepConfig, system: str) -> RunMetrics:
             malleable=config.malleable,
             strategy=config.strategy,
             policy=config.policy,
+            backend=config.backend,
+            prune=config.prune,
             keep_placements=True,  # renegotiation input
         )
         return simulate_resilient(
@@ -123,6 +131,8 @@ def run_point(config: SweepConfig, system: str) -> RunMetrics:
         malleable=config.malleable,
         strategy=config.strategy,
         policy=config.policy,
+        backend=config.backend,
+        prune=config.prune,
         keep_placements=False,
     )
     return simulate_arrivals(

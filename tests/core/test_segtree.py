@@ -1,0 +1,137 @@
+"""Unit and property tests for the segment-tree availability index."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.segtree import SegmentTreeIndex
+
+
+def brute_first_at_least(avail, start, p):
+    for i in range(max(start, 0), len(avail)):
+        if avail[i] >= p:
+            return i
+    return -1
+
+
+def brute_first_below(avail, start, p):
+    for i in range(max(start, 0), len(avail)):
+        if avail[i] < p:
+            return i
+    return -1
+
+
+def make_tree(times, avail):
+    return SegmentTreeIndex(
+        np.asarray(times, dtype=np.float64), np.asarray(avail, dtype=np.int64)
+    )
+
+
+class TestQueries:
+    def test_known_profile(self):
+        times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        avail = [4, 1, 3, 0, 8]
+        tree = make_tree(times, avail)
+        assert tree.first_at_least(0, 3) == 0
+        assert tree.first_at_least(1, 3) == 2
+        assert tree.first_at_least(3, 3) == 4
+        assert tree.first_at_least(0, 9) == -1
+        assert tree.first_below(0, 3) == 1
+        assert tree.first_below(2, 3) == 3
+        assert tree.first_below(4, 8) == -1
+        assert tree.range_min(0, 5) == 0
+        assert tree.range_min(0, 3) == 1
+        assert tree.range_min(4, 5) == 8
+
+    def test_prefix_is_free_area_integral(self):
+        times = [0.0, 2.0, 5.0]
+        avail = [3, 1, 7]
+        tree = make_tree(times, avail)
+        np.testing.assert_array_equal(tree.prefix(), [0.0, 6.0, 9.0])
+
+    def test_start_past_end_returns_missing(self):
+        tree = make_tree([0.0, 1.0], [2, 5])
+        assert tree.first_at_least(2, 1) == -1
+        assert tree.first_below(2, 10) == -1
+
+    def test_single_segment(self):
+        tree = make_tree([0.0], [3])
+        assert tree.first_at_least(0, 3) == 0
+        assert tree.first_at_least(0, 4) == -1
+        assert tree.range_min(0, 1) == 3
+
+    @given(st.data())
+    def test_queries_match_brute_force(self, data):
+        n = data.draw(st.integers(min_value=1, max_value=40))
+        avail = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=16), min_size=n, max_size=n
+            )
+        )
+        times = [float(i) for i in range(n)]
+        tree = make_tree(times, avail)
+        tree.check_against(times, avail)
+        for _ in range(6):
+            start = data.draw(st.integers(min_value=0, max_value=n + 1))
+            p = data.draw(st.integers(min_value=0, max_value=17))
+            assert tree.first_at_least(start, p) == brute_first_at_least(
+                avail, start, p
+            )
+            assert tree.first_below(start, p) == brute_first_below(avail, start, p)
+            lo = data.draw(st.integers(min_value=0, max_value=n - 1))
+            hi = data.draw(st.integers(min_value=lo + 1, max_value=n))
+            assert tree.range_min(lo, hi) == min(avail[lo:hi])
+
+
+class TestConsolidate:
+    @given(st.data())
+    def test_splice_equals_fresh_build(self, data):
+        """Incremental consolidation must equal a from-scratch index."""
+        n = data.draw(st.integers(min_value=1, max_value=30))
+        avail = data.draw(
+            st.lists(st.integers(min_value=0, max_value=9), min_size=n, max_size=n)
+        )
+        times = [float(i) for i in range(n)]
+        tree = make_tree(times, avail)
+        for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+            # Random suffix rewrite: change availability from some index on,
+            # possibly growing or shrinking the segment list.
+            cut = data.draw(st.integers(min_value=0, max_value=len(avail)))
+            tail_len = data.draw(st.integers(min_value=0, max_value=10))
+            tail = data.draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=9),
+                    min_size=tail_len,
+                    max_size=tail_len,
+                )
+            )
+            avail = avail[:cut] + tail
+            if not avail:
+                avail = [0]
+            times = [float(i) for i in range(len(avail))]
+            tree.mark_dirty(min(cut, len(avail) - 1))
+            tree.consolidate(
+                np.asarray(times, dtype=np.float64),
+                np.asarray(avail, dtype=np.int64),
+            )
+            tree.check_against(times, avail)
+            fresh = make_tree(times, avail)
+            np.testing.assert_array_equal(tree.prefix(), fresh.prefix())
+
+    def test_check_against_catches_corruption(self):
+        times = [0.0, 1.0, 2.0, 3.0]
+        avail = [4, 1, 3, 0]
+        tree = make_tree(times, avail)
+        tree.check_against(times, avail)
+        with pytest.raises(AssertionError):
+            tree.check_against(times, [4, 2, 3, 0])
+
+    def test_counters_advance(self):
+        times = [float(i) for i in range(8)]
+        avail = [1, 2, 3, 4, 5, 6, 7, 8]
+        tree = make_tree(times, avail)
+        assert tree.rebuilds >= 1
+        before = tree.visited
+        tree.first_at_least(0, 5)
+        assert tree.visited > before

@@ -83,3 +83,53 @@ class TestEventQueue:
         q.push(Event(1.0, "live"))
         q.cancel(dead)
         assert q.peek_time() == 1.0
+
+    def test_cancel_popped_event_is_noop(self):
+        q = EventQueue()
+        first = q.push(Event(1.0, "x"))
+        q.push(Event(2.0, "y"))
+        assert q.pop() is first
+        q.cancel(first)  # stale handle: already popped
+        assert len(q) == 1
+
+
+class TestTombstoneCompaction:
+    """Cancelled events must not accumulate in the heap (see class docs)."""
+
+    def test_cancel_heavy_heap_stays_bounded(self):
+        q = EventQueue()
+        survivor = q.push(Event(0.0, "keep"))
+        for _ in range(10):
+            batch = [q.push(Event(float(i + 1), "kill")) for i in range(1_000)]
+            for ev in batch:
+                q.cancel(ev)
+        # 10k events cancelled without a single pop: the heap must track
+        # the live count, not the all-time push count.
+        assert len(q) == 1
+        assert len(q._heap) <= 2 * EventQueue._COMPACT_MIN_DEAD
+        assert q.pop() is survivor
+
+    def test_order_preserved_across_compaction(self):
+        q = EventQueue()
+        evs = [
+            q.push(Event(float((i * 7) % 50), "k", priority=i % 3))
+            for i in range(400)
+        ]
+        for ev in evs[::2]:
+            q.cancel(ev)
+        popped = [q.pop() for _ in range(len(q))]
+        expected = sorted(evs[1::2], key=lambda e: e.sort_key)
+        assert [e.seq for e in popped] == [e.seq for e in expected]
+        assert not q
+
+    def test_double_cancel_across_compaction_keeps_count(self):
+        q = EventQueue()
+        evs = [q.push(Event(float(i), "x")) for i in range(200)]
+        for ev in evs[:150]:  # crosses the compaction threshold
+            q.cancel(ev)
+        for ev in evs[:150]:  # all stale handles now — must be no-ops
+            q.cancel(ev)
+        assert len(q) == 50
+        assert [q.pop().time for _ in range(50)] == [float(i) for i in range(150, 200)]
+        with pytest.raises(SimulationError):
+            q.pop()
