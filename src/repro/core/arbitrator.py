@@ -128,6 +128,11 @@ class QoSArbitrator:
         return self.schedule.capacity
 
     @property
+    def malleable(self) -> bool:
+        """Whether the malleable placement model is active."""
+        return isinstance(self.scheduler, MalleableScheduler)
+
+    @property
     def admitted(self) -> int:
         """Jobs admitted so far."""
         return self.admission.admitted

@@ -28,6 +28,7 @@ __all__ = [
     "StepStateError",
     "SimulationError",
     "WorkloadError",
+    "VerificationError",
 ]
 
 
@@ -146,3 +147,8 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was given inconsistent parameters."""
+
+
+class VerificationError(ReproError):
+    """An independent verification check (audit, differential, post-check)
+    found the system lying about its own results."""

@@ -73,6 +73,15 @@ class ResilientSimulator:
         Re-validate every admitted placement at admission (as the baseline
         does) and audit the full schedule plus every live placement after
         each perturbation event.
+    audit:
+        Opt-in *independent* re-validation on top of ``verify``: after
+        every perturbation event and at end of run, the live schedule is
+        audited by :class:`repro.verify.auditor.ScheduleAuditor` in its
+        resilience-relaxed configuration (tail-rollback stubs legitimately
+        stay reserved, so the profile check runs in ``"bound"`` mode, and
+        re-planned chains are rebased remainders, so configuration match
+        and plain-commit ledger checks are off).  Violations raise
+        :class:`~repro.errors.VerificationError` at the offending event.
     """
 
     def __init__(
@@ -81,13 +90,16 @@ class ResilientSimulator:
         job_factory: JobFactory,
         trace: PerturbationTrace,
         verify: bool = True,
+        audit: bool = False,
     ) -> None:
         self.arbitrator = arbitrator
         self.job_factory = job_factory
         self.trace = trace
         self.verify = verify
+        self.audit = audit
         self.collector = MetricsCollector()
         self.driver = RenegotiationDriver(arbitrator)
+        self._offered: list[Job] = []
 
     def run(self, arrivals: Iterable[float]) -> RunMetrics:
         """Replay arrivals and trace events in time order; return metrics."""
@@ -123,6 +135,8 @@ class ResilientSimulator:
                     heapq.heappush(heap, (due, _OVERRUN, job_id))
                 if self.verify:
                     self.driver.check_consistency()
+                if self.audit:
+                    self._run_audit(f"capacity event at t={t:g}")
             else:  # _OVERRUN
                 due = self.driver.overrun_due(ref)
                 if due is None or abs(due - t) > _DUE_EPS:
@@ -130,6 +144,11 @@ class ResilientSimulator:
                 self.driver.handle_overrun(ref)
                 if self.verify:
                     self.driver.check_consistency()
+                if self.audit:
+                    self._run_audit(f"overrun of job {ref} at t={t:g}")
+
+        if self.audit:
+            self._run_audit("end of run")
 
         if self.trace.empty:
             # Structurally identical finalization to ArrivalSimulator.
@@ -168,6 +187,8 @@ class ResilientSimulator:
             raise SimulationError(
                 f"job factory returned release {job.release}, expected {release}"
             )
+        if self.audit:
+            self._offered.append(job)
         decision = self.arbitrator.submit(job)
         deadline = None
         if decision.admitted and decision.placement is not None:
@@ -187,6 +208,28 @@ class ResilientSimulator:
                     heapq.heappush(heap, (due, _OVERRUN, job.job_id))
         self.collector.observe(decision, deadline)
 
+    def _run_audit(self, context: str) -> None:
+        """Independent live-schedule audit (the ``audit=True`` hook)."""
+        # Lazy: repro.verify is optional tooling, not a simulator dependency.
+        from repro.errors import VerificationError
+        from repro.verify.auditor import ScheduleAuditor
+
+        schedule = self.arbitrator.schedule
+        report = ScheduleAuditor(
+            malleable=self.arbitrator.malleable,
+            match_config=False,
+            ledger=False,
+            profile_mode="bound",
+            # Carried placements keep pre-change intervals that ran on the
+            # previous machine size; judge capacity from this schedule's
+            # origin (the last capacity-change time) onward only.
+            since=schedule.profile.origin,
+        ).audit(schedule)
+        if not report.ok:
+            raise VerificationError(
+                f"schedule audit failed after {context}:\n{report.summary()}"
+            )
+
 
 def simulate_resilient(
     arbitrator: QoSArbitrator,
@@ -194,7 +237,8 @@ def simulate_resilient(
     arrivals: Iterable[float],
     trace: PerturbationTrace,
     verify: bool = True,
+    audit: bool = False,
 ) -> RunMetrics:
     """Convenience wrapper: one perturbed run over explicit arrival times."""
-    sim = ResilientSimulator(arbitrator, job_factory, trace, verify=verify)
+    sim = ResilientSimulator(arbitrator, job_factory, trace, verify=verify, audit=audit)
     return sim.run(arrivals)

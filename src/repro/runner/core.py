@@ -67,6 +67,16 @@ class RunnerConfig:
     per *chunk*, in wall-clock seconds (``None`` = wait forever);
     ``retries`` counts fresh-pool retry rounds after a chunk failure
     before falling back in-process.
+
+    ``audit=True`` adds an independent post-check: after a batch merges,
+    every unique unit is re-run in-process with placements retained, its
+    final schedule is audited by :class:`repro.verify.ScheduleAuditor`,
+    and the re-run's metrics are compared against what the batch reported
+    (catching a lying cache entry, a diverging worker, or a scheduler bug
+    the fast path missed).  Any discrepancy raises
+    :class:`~repro.errors.VerificationError`.  Roughly doubles batch
+    cost — meant for CI gates and result-publication runs, not sweeps'
+    inner loops.
     """
 
     jobs: int = 1
@@ -74,6 +84,7 @@ class RunnerConfig:
     chunk_size: int | None = None
     timeout: float | None = None
     retries: int = 1
+    audit: bool = False
 
 
 class ExperimentRunner:
@@ -151,6 +162,15 @@ class ExperimentRunner:
         except KeyboardInterrupt:
             self.perf.count("interrupted_batches")
             raise
+
+        if self.config.audit:
+            # Lazy: repro.verify is opt-in tooling, not a runner dependency.
+            from repro.verify.checks import verify_unit
+
+            for key in unique:
+                config, system = units[first_of[key]]
+                verify_unit(config, system, results[key])
+                self.perf.count("units_audited")
 
         return [results[key] for key in keys]
 

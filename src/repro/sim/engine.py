@@ -31,12 +31,21 @@ class SimulationEngine:
         eng.run()
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        audit: Handler | None = None,
+    ) -> None:
         self._queue = EventQueue()
         self._handlers: dict[str, list[Handler]] = {}
         self._now = start_time
         self._processed = 0
         self._running = False
+        #: Opt-in verification hook: called after every dispatched event
+        #: (all kind handlers have run) with ``(engine, event)``.  Raise to
+        #: abort the run — the clock and counters reflect the audited
+        #: event, so the failure is locatable.  See :mod:`repro.verify`.
+        self.audit = audit
 
     # ------------------------------------------------------------------
 
@@ -92,6 +101,8 @@ class SimulationEngine:
         self._processed += 1
         for handler in self._handlers.get(ev.kind, ()):  # deterministic order
             handler(self, ev)
+        if self.audit is not None:
+            self.audit(self, ev)
         return ev
 
     def run(self, until: float = math.inf, max_events: int | None = None) -> int:

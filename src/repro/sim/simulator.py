@@ -43,6 +43,13 @@ class ArrivalSimulator:
         When True (default), re-validate every admitted placement and check
         on-time completion — catching scheduler bugs during experiments
         rather than silently mis-reporting throughput.
+    audit:
+        Opt-in *independent* verification (stronger and costlier than
+        ``verify``, which reuses the scheduler's own validation): every
+        offered job is recorded and, after the final arrival, the whole
+        committed schedule is re-validated from first principles by
+        :class:`repro.verify.auditor.ScheduleAuditor`.  Violations raise
+        :class:`~repro.errors.VerificationError`.
     """
 
     def __init__(
@@ -50,11 +57,14 @@ class ArrivalSimulator:
         arbitrator: QoSArbitrator,
         job_factory: JobFactory,
         verify: bool = True,
+        audit: bool = False,
     ) -> None:
         self.arbitrator = arbitrator
         self.job_factory = job_factory
         self.verify = verify
+        self.audit = audit
         self.collector = MetricsCollector()
+        self._offered: list[Job] = []
 
     def run(self, arrivals: Iterable[float]) -> RunMetrics:
         """Submit one job per arrival time; return the aggregate metrics."""
@@ -70,6 +80,8 @@ class ArrivalSimulator:
                 raise SimulationError(
                     f"job factory returned release {job.release}, expected {release}"
                 )
+            if self.audit:
+                self._offered.append(job)
             decision = self.arbitrator.submit(job)
             deadline = None
             if decision.admitted and decision.placement is not None:
@@ -83,6 +95,8 @@ class ArrivalSimulator:
                             f"past its deadline {deadline}"
                         )
             self.collector.observe(decision, deadline)
+        if self.audit:
+            self._run_audit()
         sched = self.arbitrator.schedule
         return self.collector.finalize(
             utilization=self.arbitrator.utilization(),
@@ -93,13 +107,32 @@ class ArrivalSimulator:
         )
 
 
+    def _run_audit(self) -> None:
+        """Independent end-of-run schedule audit (the ``audit=True`` hook)."""
+        # Lazy: repro.verify is optional tooling; the simulator must not
+        # pull it (or anything beyond the core stack) in by default.
+        from repro.errors import VerificationError
+        from repro.verify.auditor import audit_schedule
+
+        report = audit_schedule(
+            self.arbitrator.schedule,
+            self._offered,
+            malleable=self.arbitrator.malleable,
+        )
+        if not report.ok:
+            raise VerificationError(
+                f"post-run schedule audit failed:\n{report.summary()}"
+            )
+
+
 def simulate_arrivals(
     arbitrator: QoSArbitrator,
     job_factory: JobFactory,
     process: ArrivalProcess,
     n_jobs: int,
     verify: bool = True,
+    audit: bool = False,
 ) -> RunMetrics:
     """Convenience wrapper: run ``n_jobs`` arrivals from ``process``."""
-    sim = ArrivalSimulator(arbitrator, job_factory, verify=verify)
+    sim = ArrivalSimulator(arbitrator, job_factory, verify=verify, audit=audit)
     return sim.run(process.times(n_jobs))

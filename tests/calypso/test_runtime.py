@@ -1,7 +1,7 @@
 """Unit tests for the Calypso runtime: eager scheduling, exactly-once commit."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.calypso.faults import DeterministicFaults, FaultInjector, SlowNodeInjector
@@ -233,7 +233,6 @@ class TestValidation:
             CalypsoRuntime(max_executions_per_task=0)
 
 
-@settings(max_examples=25, deadline=None)
 @given(
     copies=st.integers(1, 6),
     workers=st.integers(1, 6),

@@ -10,7 +10,7 @@ is what lets the benchmarks checksum admission decisions across back-ends
 relies on to be a pure performance switch.
 """
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.first_fit import earliest_fit
@@ -65,7 +65,6 @@ def profile_op_streams(draw, capacity: int, max_ops: int = 20):
 
 
 @given(st.data())
-@settings(deadline=None)
 def test_mutation_interleaving_bit_equivalence(data):
     """Same op stream -> bit-identical state and query answers everywhere."""
     capacity = data.draw(st.integers(min_value=1, max_value=8))
@@ -102,7 +101,6 @@ def test_mutation_interleaving_bit_equivalence(data):
 
 
 @given(st.data())
-@settings(deadline=None)
 def test_schedule_commit_rollback_equivalence(data):
     """Place / commit / rollback through the scheduler stays in lock-step."""
     capacity = 8

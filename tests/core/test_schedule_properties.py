@@ -13,7 +13,7 @@ from __future__ import annotations
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.first_fit import earliest_fit
@@ -69,7 +69,6 @@ def interleavings(draw, max_ops: int = 16):
     return ops
 
 
-@settings(max_examples=60, deadline=None)
 @given(interleavings())
 def test_interleaved_commit_rollback_matches_replay(ops):
     schedule = Schedule(CAPACITY)
@@ -107,7 +106,6 @@ def test_interleaved_commit_rollback_matches_replay(ops):
     schedule.check_consistency()
 
 
-@settings(max_examples=60, deadline=None)
 @given(interleavings())
 def test_interleaving_keeps_perf_counter_balance(ops):
     """commits - rollbacks == live placements, and the profile drains to idle."""

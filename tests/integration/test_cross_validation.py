@@ -15,7 +15,7 @@ import itertools
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.greedy import GreedyScheduler
@@ -60,7 +60,6 @@ def brute_force_chain_finish(
 
 
 class TestChainOptimality:
-    @settings(max_examples=60, deadline=None)
     @given(loaded_profiles(max_capacity=4), task_chains(max_len=2, max_procs=4))
     def test_greedy_matches_brute_force(self, profile, chain):
         schedule = Schedule(profile.capacity)
@@ -75,7 +74,6 @@ class TestChainOptimality:
             assert reference is not None
             assert math.isclose(cp.finish, reference, abs_tol=1e-9)
 
-    @settings(max_examples=40, deadline=None)
     @given(
         loaded_profiles(max_capacity=4),
         st.lists(task_chains(max_len=2, max_procs=4), min_size=2, max_size=3),
@@ -100,7 +98,6 @@ class TestChainOptimality:
 
 
 class TestMalleableSoundness:
-    @settings(max_examples=60, deadline=None)
     @given(task_chains(max_len=3, max_procs=8), st.integers(1, 8))
     def test_quick_reject_never_rejects_feasible(self, chain, capacity):
         """_quick_reject is a sound necessary condition: anything it rejects
@@ -110,7 +107,6 @@ class TestMalleableSoundness:
         if scheduler._quick_reject(chain):  # noqa: SLF001
             assert scheduler.place_chain(chain, release=0.0) is None
 
-    @settings(max_examples=60, deadline=None)
     @given(task_chains(max_len=3, max_procs=8), st.integers(1, 8))
     def test_rigid_quick_reject_sound(self, chain, capacity):
         schedule = Schedule(capacity)

@@ -1,6 +1,6 @@
 """Property-based fuzzing of the preprocessor over random programs."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.resources import ProcessorTimeRequest
@@ -104,7 +104,6 @@ def programs(draw):
     return TunableProgram(f"fuzz{counter[0]}", params, body)
 
 
-@settings(max_examples=120, deadline=None)
 @given(programs())
 def test_enumeration_invariants(program):
     try:
@@ -162,7 +161,6 @@ def test_enumeration_invariants(program):
                 )
 
 
-@settings(max_examples=60, deadline=None)
 @given(programs())
 def test_enumeration_deterministic(program):
     def snapshot():

@@ -1,7 +1,7 @@
 """Property tests: conservation invariants of the best-effort executor."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim.arrivals import PoissonArrivals
@@ -10,7 +10,6 @@ from repro.sim.rng import RandomStreams
 from repro.workloads.synthetic import SyntheticParams
 
 
-@settings(max_examples=30, deadline=None)
 @given(
     seed=st.integers(0, 50),
     interval=st.sampled_from([3.0, 8.0, 20.0]),
@@ -45,7 +44,6 @@ def test_conservation_invariants(seed, interval, capacity, backfill, selector):
         )
 
 
-@settings(max_examples=20, deadline=None)
 @given(seed=st.integers(0, 20))
 def test_strict_edf_never_beats_backfill(seed):
     """Backfilling can only help on-time counts for this workload family."""

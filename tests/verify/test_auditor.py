@@ -1,0 +1,87 @@
+"""The auditor must catch every hand-seeded bug — and only those.
+
+Each :mod:`repro.verify.mutants` scenario plants exactly one ledger,
+profile, shape or timing inconsistency via raw (unvalidated) commits.  A
+mutant the auditor misses is a blind spot; a violation on the clean
+baseline is a false positive.  Both fail here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify.auditor import ScheduleAuditor, audit_schedule
+from repro.verify.mutants import MUTANT_BUILDERS, build_all_mutants, clean_baseline
+
+ALL_MUTANTS = build_all_mutants()
+
+
+def _audit(scenario):
+    return audit_schedule(
+        scenario.schedule,
+        list(scenario.jobs),
+        malleable=scenario.malleable,
+        match_config=True,
+    )
+
+
+def test_clean_baseline_audits_clean():
+    report = _audit(clean_baseline())
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize(
+    "scenario", ALL_MUTANTS, ids=[m.name for m in ALL_MUTANTS]
+)
+def test_mutant_is_flagged_with_expected_code(scenario):
+    report = _audit(scenario)
+    assert not report.ok, f"auditor missed mutant {scenario.name}"
+    assert scenario.expected_code in report.codes, (
+        f"mutant {scenario.name}: expected violation code "
+        f"{scenario.expected_code!r}, got {sorted(report.codes)}"
+    )
+
+
+def test_selftest_catches_all_mutants():
+    """The acceptance-criterion form: N/N mutants caught, zero missed."""
+    caught = sum(1 for m in ALL_MUTANTS if not _audit(m).ok)
+    assert caught == len(ALL_MUTANTS) >= 10
+
+
+def test_violations_carry_context():
+    """Violations are structured records, not bare strings."""
+    scenario = next(m for m in ALL_MUTANTS if m.name == "capacity_overshoot")
+    report = _audit(scenario)
+    v = next(v for v in report.violations if v.code == "capacity")
+    assert v.detail
+    assert "capacity" in report.summary()
+
+
+def test_mutant_registry_is_complete():
+    """Every registered builder produces a distinct, named scenario."""
+    names = [m.name for m in ALL_MUTANTS]
+    assert len(names) == len(set(names)) == len(MUTANT_BUILDERS)
+
+
+def test_auditor_shares_no_scheduler_code():
+    """The independence claim: no greedy/admission imports in the auditor."""
+    import repro.verify.auditor as auditor_module
+
+    source = open(auditor_module.__file__).read()
+    for banned in (
+        "repro.core.greedy",
+        "repro.core.admission",
+        "repro.core.first_fit",
+        "from repro.core.profile import",
+    ):
+        assert banned not in source, f"auditor depends on {banned}"
+
+
+def test_profile_mode_off_skips_profile_check():
+    scenario = next(m for m in ALL_MUTANTS if m.name == "missing_reservation")
+    strict = _audit(scenario)
+    relaxed = ScheduleAuditor(profile_mode="off", ledger=False).audit(
+        scenario.schedule, list(scenario.jobs)
+    )
+    assert "profile" in strict.codes
+    assert "profile" not in relaxed.codes

@@ -1,0 +1,184 @@
+"""Cross-validate the branch-and-bound oracle against dense enumeration.
+
+The oracle's exactness rests on a left-shift argument: restricting task
+starts to release points plus the subset-sum closure of durations loses
+no solutions.  This suite re-derives optima on tiny instances with a
+*dense* half-step start grid and a brutally simple usage map — different
+candidate set, different feasibility machinery — and requires bit-equal
+admitted counts.  Oracle placements must additionally satisfy the
+independent auditor.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.resources import ProcessorTimeRequest
+from repro.model.chain import TaskChain
+from repro.model.job import Job
+from repro.model.task import TaskSpec
+from repro.verify.auditor import ScheduleAuditor
+from repro.verify.checks import oracle_chain_placements
+from repro.verify.oracle import OracleLimitError, OracleLimits, exhaustive_best
+
+# ---------------------------------------------------------------------------
+# Independent dense-grid optimum
+# ---------------------------------------------------------------------------
+
+STEP = 0.5  # all generated times are multiples of 0.5 — exact in floats
+
+
+def dense_optimum(jobs, capacity):
+    """Max admitted jobs by exhaustive subset × chain × dense-start search.
+
+    Unlike a greedy feasibility probe, *every* dense-grid placement of an
+    admitted chain is enumerated (continuation-passing), so an early job's
+    placement choice can never mask a better global solution.  Deadlines
+    are relative to each job's release (paper semantics) and must be
+    finite — they bound the start candidates.
+    """
+    usage: dict[int, int] = {}  # slot index -> processors busy
+    best = 0
+
+    def place(tasks, earliest, release, cont):
+        if not tasks:
+            cont()
+            return
+        task = tasks[0]
+        procs, dur = task.request.processors, task.request.duration
+        slots = round(dur / STEP)
+        start = earliest
+        while start + dur <= release + task.deadline + 1e-9:
+            s0 = round(start / STEP)
+            if all(
+                usage.get(s0 + k, 0) + procs <= capacity for k in range(slots)
+            ):
+                for k in range(slots):
+                    usage[s0 + k] = usage.get(s0 + k, 0) + procs
+                place(tasks[1:], start + dur, release, cont)
+                for k in range(slots):
+                    usage[s0 + k] -= procs
+            start += STEP
+
+    def go(i, admitted):
+        nonlocal best
+        if admitted + (len(jobs) - i) <= best:
+            return
+        if i == len(jobs):
+            best = max(best, admitted)
+            return
+        job = jobs[i]
+        for chain in job.chains:
+            if any(t.request.processors > capacity for t in chain.tasks):
+                continue
+            place(
+                list(chain.tasks),
+                job.release,
+                job.release,
+                lambda: go(i + 1, admitted + 1),
+            )
+        go(i + 1, admitted)  # reject branch
+
+    go(0, 0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Tiny-instance generator (kept deliberately smaller than the fuzzer's)
+# ---------------------------------------------------------------------------
+
+
+def tiny_instance(rng: random.Random):
+    """1–3 jobs, finite deadlines with ≤2.0 slack (bounds dense branching)."""
+    capacity = rng.randint(2, 4)
+    jobs = []
+    for j in range(rng.randint(1, 3)):
+        release = rng.randint(0, 2) / 2
+        chains = []
+        for c in range(rng.randint(1, 2)):
+            tasks = []
+            elapsed = 0.0
+            for t in range(rng.randint(1, 2)):
+                dur = rng.randint(1, 6) / 2
+                elapsed += dur
+                deadline = elapsed + rng.randint(0, 4) / 2
+                tasks.append(
+                    TaskSpec(
+                        f"j{j}c{c}t{t}",
+                        ProcessorTimeRequest(rng.randint(1, capacity), dur),
+                        deadline=deadline,
+                    )
+                )
+            chains.append(TaskChain(tuple(tasks), label=f"c{c}"))
+        jobs.append(Job(chains=tuple(chains), release=release))
+    return capacity, jobs
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_oracle_matches_dense_enumeration(seed):
+    rng = random.Random(seed)
+    capacity, jobs = tiny_instance(rng)
+    solution = exhaustive_best(jobs, capacity)
+    assert solution.admitted_count == dense_optimum(jobs, capacity), (
+        f"seed {seed}: oracle {solution.admitted_count} != dense optimum "
+        f"{dense_optimum(jobs, capacity)} (capacity {capacity})"
+    )
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_oracle_placements_pass_independent_audit(seed):
+    rng = random.Random(seed + 1000)
+    capacity, jobs = tiny_instance(rng)
+    solution = exhaustive_best(jobs, capacity)
+    report = ScheduleAuditor().audit_placements(
+        oracle_chain_placements(solution, jobs), capacity, jobs
+    )
+    assert report.ok, report.summary()
+
+
+def test_oracle_rejects_oversized_instances():
+    rng = random.Random(0)
+    _, jobs = tiny_instance(rng)
+    with pytest.raises(OracleLimitError):
+        exhaustive_best(jobs, 4, OracleLimits(max_jobs=len(jobs) - 1))
+
+
+def test_oracle_admits_everything_on_a_loose_machine():
+    """Sanity anchor: with huge capacity and loose deadlines, all admit."""
+    jobs = [
+        Job(
+            chains=(
+                TaskChain(
+                    (
+                        TaskSpec(
+                            f"t{i}",
+                            ProcessorTimeRequest(2, 2.0),
+                            deadline=100.0,
+                        ),
+                    )
+                ),
+            ),
+            release=float(i),
+        )
+        for i in range(4)
+    ]
+    solution = exhaustive_best(jobs, 64)
+    assert solution.admitted_count == 4
+
+
+def test_oracle_prefers_feasible_alternative_chain():
+    """OR-graph semantics: an infeasible primary chain must not doom a job."""
+    impossible = TaskChain(
+        (TaskSpec("wide", ProcessorTimeRequest(8, 1.0), deadline=10.0),),
+        label="wide",
+    )
+    fallback = TaskChain(
+        (TaskSpec("narrow", ProcessorTimeRequest(1, 1.0), deadline=10.0),),
+        label="narrow",
+    )
+    job = Job(chains=(impossible, fallback), release=0.0)
+    solution = exhaustive_best([job], 2)
+    assert solution.admitted_count == 1
+    assert solution.admitted[job.job_id] == 1
