@@ -26,6 +26,13 @@ Two sections:
   against the baseline simulator (the subsystem's no-overhead-when-idle
   guard), then a perturbed run (capacity faults x overruns x bursts)
   timed under full per-event verification.
+* ``reconfig`` — mid-execution malleability
+  (:mod:`repro.resilience.reconfig`): an armed grow/shrink engine with a
+  prohibitive reconfiguration cost on a zero-event trace must reproduce
+  the baseline scheduling metrics bit for bit with zero resizes — every
+  probe's transaction rollback has to be a bit-exact inverse — then the
+  committed reconfig-experiment regime is timed with resizing on,
+  reporting the grow/shrink ledger against the no-resize arm.
 
 Usage::
 
@@ -46,6 +53,7 @@ import os
 import platform
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -65,6 +73,11 @@ from repro.resilience.events import (  # noqa: E402
     FaultModel,
     PerturbationTrace,
     generate_trace,
+)
+from repro.resilience.reconfig import (  # noqa: E402
+    ReconfigCostModel,
+    ReconfigEngine,
+    ResizePolicy,
 )
 from repro.resilience.simulator import simulate_resilient  # noqa: E402
 from repro.sim.arrivals import PoissonArrivals  # noqa: E402
@@ -215,6 +228,119 @@ def run_resilience_bench(
     }
 
 
+def run_reconfig_bench(
+    n_jobs: int,
+    capacity: int = 32,
+    mean_interval: float = 35.0,
+    seed: int = 2024,
+) -> dict:
+    """Mid-execution malleability benchmark with its bit-identity guard.
+
+    Guard: a ``GROW_SHRINK`` engine whose cost model makes every resize
+    unprofitable (prohibitive checkpoint term), run on a zero-event trace,
+    must commit **zero** resizes and reproduce the plain simulator's
+    scheduling metrics bit for bit — failed probes run the full
+    rollback/restore transaction, so this proves the undo path is a
+    bit-exact inverse.  Then the perturbed committed regime (severity 0.6,
+    repair 100 — the reconfig experiment's fault model) is timed with
+    zero-cost grow/shrink enabled, reporting the resize ledger and the
+    survival x quality benefit against the no-resize arm on the identical
+    trace.
+    """
+    params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+
+    def factory(i, release):
+        return params.tunable_job(release)
+
+    def engine(cost: float) -> ReconfigEngine:
+        return ReconfigEngine(ResizePolicy.GROW_SHRINK, ReconfigCostModel(cost))
+
+    arrivals = list(
+        PoissonArrivals(mean_interval, RandomStreams(seed)).times(n_jobs)
+    )
+    baseline = simulate_arrivals(
+        QoSArbitrator(capacity, malleable=True),
+        factory,
+        PoissonArrivals(mean_interval, RandomStreams(seed)),
+        n_jobs,
+    )
+    guard_engine = engine(1e9)
+    guarded = simulate_resilient(
+        QoSArbitrator(capacity, malleable=True, keep_placements=True),
+        factory,
+        arrivals,
+        PerturbationTrace(),
+        reconfig=guard_engine,
+    )
+    ledger = guard_engine.ledger()
+    if ledger["grows"] or ledger["shrinks"] or guard_engine.records:
+        raise AssertionError(
+            f"prohibitive-cost engine committed resizes: {ledger}"
+        )
+    if replace(guarded, resilience={}) != baseline:
+        raise AssertionError(
+            "armed-but-idle reconfig run diverged from the baseline simulator"
+        )
+
+    model = FaultModel(
+        fault_rate=1e-3,
+        fault_severity=0.6,
+        mean_repair=100.0,
+        overrun_prob=0.10,
+        burst_rate=5e-5,
+        burst_size=4,
+    )
+    trace = generate_trace(
+        model,
+        RandomStreams(seed),
+        horizon=arrivals[-1] + params.d2,
+        base_capacity=capacity,
+        n_arrivals=n_jobs,
+    )
+    off = simulate_resilient(
+        QoSArbitrator(capacity, malleable=True, keep_placements=True),
+        factory,
+        arrivals,
+        trace,
+        verify=True,
+    )
+    on_engine = engine(0.0)
+    t_start = time.perf_counter()
+    on = simulate_resilient(
+        QoSArbitrator(capacity, malleable=True, keep_placements=True),
+        factory,
+        arrivals,
+        trace,
+        verify=True,
+        reconfig=on_engine,
+    )
+    elapsed = time.perf_counter() - t_start
+    r = on.resilience
+
+    def benefit(m):
+        return m.resilience.get("survival_rate", 1.0) * m.achieved_quality
+
+    return {
+        "jobs": n_jobs,
+        "capacity": capacity,
+        "mean_interval": mean_interval,
+        "idle_engine_identical": True,
+        "idle_probe_attempts": ledger["grow_attempts"] + ledger["shrink_attempts"],
+        "seconds": round(elapsed, 6),
+        "jobs_per_sec": round(n_jobs / elapsed, 1) if elapsed > 0 else None,
+        "grows": r["grows"],
+        "shrinks": r["shrinks"],
+        "shrink_admits": r["shrink_admits"],
+        "shrink_rescues": r["shrink_rescues"],
+        "resizes": r["resizes"],
+        "resize_cost": round(r["resize_cost"], 3),
+        "resize_wasted": round(r["resize_wasted"], 3),
+        "survival_rate": round(r["survival_rate"], 4),
+        "benefit_resize_on": round(benefit(on), 3),
+        "benefit_resize_off": round(benefit(off), 3),
+    }
+
+
 def generate(quick: bool = False) -> dict:
     """Run every section and return the report dict."""
     if quick:
@@ -225,6 +351,7 @@ def generate(quick: bool = False) -> dict:
             2,
         )
         resilience_n = 300
+        reconfig_n = 300
         frag_decisions, frag_counts = 60, (100, 1_000)
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
@@ -234,6 +361,7 @@ def generate(quick: bool = False) -> dict:
             4,
         )
         resilience_n = 2_000
+        reconfig_n = 2_000
         frag_decisions, frag_counts = 150, (100, 1_000, 10_000)
     return {
         "generated_by": "benchmarks/run_bench.py",
@@ -253,6 +381,7 @@ def generate(quick: bool = False) -> dict:
         ),
         "fragmentation": run_fragmentation_bench(frag_decisions, frag_counts),
         "resilience": run_resilience_bench(resilience_n),
+        "reconfig": run_reconfig_bench(reconfig_n),
     }
 
 
@@ -305,6 +434,15 @@ def main(argv: list[str] | None = None) -> int:
         f"({resilience['jobs_per_sec']} jobs/s), "
         f"survival={resilience['survival_rate']} "
         f"switches={resilience['path_switches']}"
+    )
+    reconfig = report["reconfig"]
+    print(
+        f"  reconfig ({reconfig['jobs']} jobs): idle engine identical "
+        f"({reconfig['idle_probe_attempts']} probes rolled back), "
+        f"perturbed run {reconfig['seconds']}s — "
+        f"grows={reconfig['grows']} shrinks={reconfig['shrinks']} "
+        f"benefit on/off={reconfig['benefit_resize_on']}/"
+        f"{reconfig['benefit_resize_off']}"
     )
     return 0
 

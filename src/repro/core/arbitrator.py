@@ -220,6 +220,32 @@ class QoSArbitrator:
             )
         return decision
 
+    def resubmit(self, job: Job) -> AdmissionDecision:
+        """Re-offer a job already counted rejected by :meth:`submit`.
+
+        The shrink-to-admit path of the mid-execution resize engine: after
+        a rejection, a running malleable job may be narrowed to free
+        capacity and the arrival re-offered against the reshaped profile.
+        The job was fully counted (offered/rejected/quality-possible) by
+        its original :meth:`submit`, so this nets the provisional rejection
+        out instead of counting the job twice: on success the earlier
+        rejection is removed and the admission recorded as usual; on
+        failure all counters are left exactly as :meth:`submit` set them.
+        """
+        with self.schedule.perf.timed("decision"):
+            if self.objective is ArbitrationObjective.EARLIEST_FINISH:
+                decision = self.admission.offer(job)
+            else:
+                decision = self._offer_max_quality(job)
+        if decision.admitted and decision.placement is not None:
+            self.admission.rejected -= 1  # the provisional rejection
+            self._quality_sum += chain_quality(
+                decision.placement.chain, self.quality_composition
+            )
+        else:
+            self.admission.rejected -= 1  # offer() double-counted the reject
+        return decision
+
     def _offer_max_quality(self, job: Job) -> AdmissionDecision:
         """Admission with quality-first path choice.
 

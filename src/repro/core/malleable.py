@@ -119,17 +119,41 @@ class MalleableScheduler(GreedyScheduler):
         )
 
     def _place_task(
-        self, task: TaskSpec, earliest: float, deadline: float
+        self,
+        task: TaskSpec,
+        earliest: float,
+        deadline: float,
+        min_width: int | None = None,
+        max_width: int | None = None,
     ) -> Placement | None:
-        """Place one malleable task per the configured strategy."""
+        """Place one malleable task per the configured strategy.
+
+        ``min_width``/``max_width`` optionally narrow the probed band within
+        ``[min_processors, min(max_concurrency, capacity)]`` — the
+        mid-execution resize path uses them to force a strictly wider
+        (grow) or strictly narrower (shrink) restart of an in-flight task.
+
+        Under ``EARLIEST_FINISH``, "ties favour the wider configuration" is
+        honoured against the *true minimum* finish: every feasible width is
+        collected first, then the widest placement finishing within
+        ``TIME_EPS`` of the earliest finish wins.  (Comparing each candidate
+        only against the running best lets near-ties drift: with ends
+        ``E``, ``E-0.6eps``, ``E-1.2eps`` from wide to narrow, the middle
+        width is discarded against ``E`` yet ties the narrow winner.)
+        """
         profile = self.schedule.profile
         width_cap = min(task.max_concurrency, profile.capacity)
-        if width_cap < self.min_processors:
+        if max_width is not None:
+            width_cap = min(width_cap, max_width)
+        width_floor = self.min_processors
+        if min_width is not None:
+            width_floor = max(width_floor, min_width)
+        if width_cap < width_floor:
             return None
         area = task.area
-        best: Placement | None = None
+        feasible: list[Placement] = []
         perf = self.schedule.perf
-        for procs in range(width_cap, self.min_processors - 1, -1):
+        for procs in range(width_cap, width_floor - 1, -1):
             duration = area / procs
             perf.count("reshape_probes")
             start = earliest_fit(profile, procs, duration, earliest, deadline)
@@ -138,9 +162,63 @@ class MalleableScheduler(GreedyScheduler):
             placement = Placement(task, start, procs, duration)
             if self.strategy is MalleableStrategy.WIDEST_FIRST_FEASIBLE:
                 return placement
-            if best is None or placement.end < best.end - TIME_EPS:
-                best = placement
-        return best
+            feasible.append(placement)
+        if not feasible:
+            return None
+        min_end = min(pl.end for pl in feasible)
+        # Scan order is widest-first, so the first within-eps hit is the
+        # widest member of the tie set.
+        for placement in feasible:
+            if placement.end <= min_end + TIME_EPS:
+                return placement
+        return None  # pragma: no cover - min_end is attained above
+
+    def resize_placement(
+        self,
+        chain: TaskChain,
+        release: float,
+        earliest: float,
+        first_min_width: int | None = None,
+        first_max_width: int | None = None,
+        job_id: int = -1,
+        chain_index: int = 0,
+    ) -> ChainPlacement | None:
+        """Re-place a running job's remainder with a reshaped leading task.
+
+        The mid-execution malleability primitive: ``chain`` is the rebased
+        remainder of a running chain whose leading task is in flight and is
+        being restarted (Calypso-style idempotent re-execution) at a new
+        width.  ``earliest`` is the restart instant — the resize time plus
+        the charged reconfiguration cost — and ``first_min_width`` /
+        ``first_max_width`` bound the leading task's new width (strictly
+        wider than before for a grow, strictly narrower for a shrink).
+        Downstream tasks reshape freely per the configured strategy.
+        Deadlines are checked against ``release`` exactly as in
+        :meth:`place_chain`; returns ``None`` when no feasible reshape
+        meets them.
+        """
+        profile = self.schedule.profile
+        cursor = max(earliest, release, profile.origin)
+        placements: list[Placement] = []
+        for index, task in enumerate(chain.tasks):
+            pl = self._place_task(
+                task,
+                cursor,
+                release + task.deadline,
+                min_width=first_min_width if index == 0 else None,
+                max_width=first_max_width if index == 0 else None,
+            )
+            if pl is None:
+                return None
+            placements.append(pl)
+            cursor = pl.end
+        return ChainPlacement(
+            job_id=job_id,
+            chain_index=chain_index,
+            chain=chain,
+            placements=tuple(placements),
+            release=release,
+        )
 
     def place_chain(
         self,

@@ -15,6 +15,7 @@ from collections import Counter
 from typing import Iterable
 
 from repro.core.placement import ChainPlacement, Placement
+from repro.core.resources import time_leq
 from repro.core.profile import AvailabilityProfile
 from repro.errors import ScheduleConsistencyError
 from repro.perf import PerfRecorder
@@ -219,7 +220,7 @@ class Schedule:
             return
         released = 0.0
         for pl in reversed(cp.placements):
-            if pl.end <= cut:
+            if time_leq(pl.end, cut):  # sub-eps remainder: nothing to free
                 continue
             start = max(pl.start, cut)
             self.profile.release(start, pl.end, pl.processors)
@@ -240,6 +241,51 @@ class Schedule:
             self._last_finish = max(self._finishes)
         self.perf.count("tail_rollbacks")
 
+    def restore_tail(self, cp: ChainPlacement, cut: float) -> None:
+        """Exact inverse of :meth:`rollback_tail` at the same ``cut``.
+
+        Re-reserves the post-``cut`` portion of ``cp``'s intervals, returns
+        ``cp`` to the placement list, and moves the job's committed finish
+        back from ``cut`` to ``cp.finish``.  The mid-execution resize engine
+        uses this to abandon a *tentative* resize: it tail-rolls a running
+        placement back, probes a reshaped remainder, and — when the reshape
+        is rejected — restores the original reservation bit for bit.
+
+        Must be called with the same ``cut`` that was passed to
+        :meth:`rollback_tail`, while the freed region is still free (the
+        caller rolls back whatever it committed in between first); a
+        ``cut`` at or before ``cp.start`` undoes a plain rollback.
+        """
+        if cut <= cp.start:
+            self.commit(cp)
+            return
+        restored = 0.0
+        reserved: list[tuple[float, float, int]] = []
+        try:
+            for pl in cp.placements:
+                # Mirror of rollback_tail's skip — the two must slice
+                # identically for restore to be an exact inverse.
+                if time_leq(pl.end, cut):
+                    continue
+                start = max(pl.start, cut)
+                self.profile.reserve(start, pl.end, pl.processors)
+                reserved.append((start, pl.end, pl.processors))
+                restored += (pl.end - start) * pl.processors
+        except Exception:
+            for start, end, procs in reversed(reserved):
+                self.profile.release(start, end, procs)
+            raise
+        if self._keep:
+            self._placements.append(cp)
+        self._committed_area += restored
+        self._finishes[cut] -= 1
+        if not self._finishes[cut]:
+            del self._finishes[cut]
+        self._finishes[cp.finish] += 1
+        if self._finishes:
+            self._last_finish = max(self._finishes)
+        self.perf.count("tail_restores")
+
     def adopt_carried(self, cp: ChainPlacement, cut: float) -> None:
         """Re-reserve the remaining (post-``cut``) portion of ``cp`` here.
 
@@ -259,7 +305,10 @@ class Schedule:
         area = 0.0
         try:
             for pl in cp.placements:
-                if pl.end <= cut:
+                # time_leq, not <=: a remainder shorter than TIME_EPS is
+                # history, not a reservable interval — reserving it would
+                # trip the profile's degenerate-interval guard.
+                if time_leq(pl.end, cut):
                     continue
                 start = max(pl.start, cut)
                 self.profile.reserve(start, pl.end, pl.processors)

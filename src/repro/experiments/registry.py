@@ -21,6 +21,7 @@ from repro.experiments.best_effort import (
 from repro.experiments.faults import render_faults, run_faults
 from repro.experiments.junction_fig2 import render_fig2, run_fig2
 from repro.experiments.quality import render_quality, run_quality_degradation
+from repro.experiments.reconfig import render_reconfig, run_reconfig
 from repro.experiments.survival import render_survival, run_survival
 
 __all__ = ["EXPERIMENTS", "run_experiment", "unknown_experiments"]
@@ -39,6 +40,7 @@ EXPERIMENTS: dict[str, Runner] = {
     "quality": lambda: render_quality(run_quality_degradation()),
     "survival": lambda: render_survival(run_survival()),
     "faults": lambda: render_faults(run_faults()),
+    "reconfig": lambda: render_reconfig(run_reconfig()),
     "ablation-policy": ablations.ablation_policy,
     "ablation-malleable": ablations.ablation_malleable_strategy,
     "ablation-fit": ablations.ablation_fit_rule,

@@ -12,10 +12,18 @@ package exercises that claim end to end:
   OR-graph paths;
 * :mod:`repro.resilience.simulator` — the merged arrival + perturbation
   discrete-event loop, bit-identical to the fault-free baseline under an
-  empty trace.
+  empty trace;
+* :mod:`repro.resilience.reconfig` — mid-execution malleability: the
+  grow/shrink policy engine that resizes *running* jobs at
+  capacity-freeing and capacity-pressure events under an explicit
+  reconfiguration-cost model.
 """
 
-from repro.resilience.driver import RenegotiationDriver, ResilienceOutcome
+from repro.resilience.driver import (
+    RenegotiationDriver,
+    ResilienceOutcome,
+    ResizeTxn,
+)
 from repro.resilience.events import (
     BurstEvent,
     CapacityEvent,
@@ -23,6 +31,12 @@ from repro.resilience.events import (
     OverrunEvent,
     PerturbationTrace,
     generate_trace,
+)
+from repro.resilience.reconfig import (
+    ReconfigCostModel,
+    ReconfigEngine,
+    ResizePolicy,
+    ResizeRecord,
 )
 from repro.resilience.simulator import ResilientSimulator, simulate_resilient
 
@@ -33,8 +47,13 @@ __all__ = [
     "OverrunEvent",
     "PerturbationTrace",
     "generate_trace",
+    "ReconfigCostModel",
+    "ReconfigEngine",
     "RenegotiationDriver",
     "ResilienceOutcome",
     "ResilientSimulator",
+    "ResizePolicy",
+    "ResizeRecord",
+    "ResizeTxn",
     "simulate_resilient",
 ]

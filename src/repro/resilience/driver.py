@@ -45,8 +45,9 @@ from repro.resilience.events import CapacityEvent, OverrunEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.events import PerturbationTrace
+    from repro.resilience.reconfig import ReconfigEngine
 
-__all__ = ["RenegotiationDriver", "ResilienceOutcome"]
+__all__ = ["RenegotiationDriver", "ResilienceOutcome", "ResizeTxn"]
 
 
 @dataclass(slots=True)
@@ -69,9 +70,80 @@ class _LiveJob:
     #: Consumed processor-time that produced no retained result.
     wasted: float = 0.0
     replans: int = 0
+    resizes: int = 0
     affected: bool = False
     #: Latent overrun: (absolute task position on the current path, factor).
     latent: tuple[int, float] | None = None
+
+
+@dataclass(slots=True)
+class ResizeTxn:
+    """One tentative mid-execution resize, applied to the schedule only.
+
+    Returned by :meth:`RenegotiationDriver.resize_remainder` with the old
+    tail already rolled back and the reshaped remainder committed; the
+    driver's own bookkeeping is untouched until the caller decides.
+    Exactly one of :meth:`finalize` (keep the resize, charge the ledger)
+    or :meth:`undo` (restore the original reservation bit for bit) must be
+    called.
+    """
+
+    driver: "RenegotiationDriver"
+    rec: _LiveJob
+    old_cp: ChainPlacement
+    new_cp: ChainPlacement
+    cut: float
+    completed: int
+    executed: float
+    kept: float
+    old_width: int
+    delay: float
+    closed: bool = False
+
+    @property
+    def old_finish(self) -> float:
+        """Reserved finish before the resize."""
+        return self.old_cp.finish
+
+    @property
+    def new_finish(self) -> float:
+        """Reserved finish of the reshaped remainder."""
+        return self.new_cp.finish
+
+    @property
+    def new_width(self) -> int:
+        """Width the in-flight task restarts at."""
+        return self.new_cp.placements[0].processors
+
+    def finalize(self) -> None:
+        """Keep the resize: charge spent/wasted and swap the live placement.
+
+        The in-flight task restarts from scratch (Calypso idempotent
+        re-execution), so its consumed share — everything executed beyond
+        the completed prefix — is both ``spent`` (the processors were
+        busy) and ``wasted`` (the partial run is discarded).
+        """
+        assert not self.closed, "resize transaction already closed"
+        self.closed = True
+        rec = self.rec
+        discarded = self.executed - self.kept
+        rec.spent += self.executed
+        rec.wasted += discarded
+        rec.completed_before += self.completed
+        rec.placement = self.new_cp
+        rec.resizes += 1
+        driver = self.driver
+        driver._resizes += 1
+        driver._resize_cost += self.delay
+        driver._resize_wasted += discarded
+
+    def undo(self) -> None:
+        """Abandon the resize: restore the pre-resize reservation exactly."""
+        assert not self.closed, "resize transaction already closed"
+        self.closed = True
+        schedule = self.driver.arbitrator.schedule
+        schedule.rollback(self.new_cp)
+        schedule.restore_tail(self.old_cp, self.cut)
 
 
 @dataclass(frozen=True, slots=True)
@@ -104,6 +176,9 @@ class RenegotiationDriver:
 
     def __init__(self, arbitrator: QoSArbitrator) -> None:
         self.arbitrator = arbitrator
+        #: Optional mid-execution resize engine (see
+        #: :mod:`repro.resilience.reconfig`); bound by the engine itself.
+        self.reconfig: "ReconfigEngine | None" = None
         self._live: dict[int, _LiveJob] = {}
         self._base_capacity = arbitrator.capacity
         self._capacity_steps: list[tuple[float, int]] = []
@@ -120,6 +195,11 @@ class RenegotiationDriver:
         self._carried = 0
         self._capacity_events = 0
         self._overrun_events = 0
+        # Mid-execution resize ledger (grow/shrink detail lives in the
+        # reconfig engine; the driver keeps the work-accounting totals).
+        self._resizes = 0
+        self._resize_cost = 0.0
+        self._resize_wasted = 0.0
         # Work/quality accounting.
         self._spent_total = 0.0
         self._wasted_total = 0.0
@@ -219,17 +299,34 @@ class RenegotiationDriver:
         ]
         for rec in self._live.values():
             self._mark_affected(rec)
+        # Jobs re-established on the *new* schedule so far: the only legal
+        # shrink donors for the capacity-pressure rescue below (a job not
+        # yet processed still holds its reservation on the old schedule).
+        donors: list[int] = []
         for rec in sorted(running, key=lambda r: (r.placement.start, r.job_id)):
             try:
                 new_schedule.adopt_carried(rec.placement, tau)
                 self._carried += 1
+                donors.append(rec.job_id)
                 continue
             except CapacityExceededError:
                 pass
-            if self._replan(rec, tau) is None:
+            if self._replan(rec, tau) is not None:
+                donors.append(rec.job_id)
+            elif self.reconfig is not None and self.reconfig.rescue_replan(
+                rec, tau, donors
+            ):
+                donors.append(rec.job_id)
+            else:
                 self._lose(rec, tau, overrun=False)
         for rec in sorted(future, key=lambda r: (r.placement.release, r.job_id)):
-            if self._replan(rec, tau) is None:
+            if self._replan(rec, tau) is not None:
+                donors.append(rec.job_id)
+            elif self.reconfig is not None and self.reconfig.rescue_replan(
+                rec, tau, donors
+            ):
+                donors.append(rec.job_id)
+            else:
                 self._lose(rec, tau, overrun=False)
 
     def overrun_due(self, job_id: int) -> float | None:
@@ -238,15 +335,24 @@ class RenegotiationDriver:
         The overrun becomes observable when the afflicted task's *reserved*
         finish passes without completion — which is the reserved end of that
         task on the job's **current** placement (re-plans move it).
+
+        An armed position outside the current placement's range means the
+        afflicted task is no longer part of the plan (both known causes —
+        the completed-prefix count swallowing an armed task, and a path
+        switch keeping the old path's latent — are fixed upstream); rather
+        than clamp onto an unrelated placement and re-offer finished work,
+        the overrun is disarmed.
         """
         rec = self._live.get(job_id)
         if rec is None or rec.latent is None:
             return None
         pos, _ = rec.latent
         idx = pos - rec.completed_before
-        if idx < 0:  # pragma: no cover - defensive; detection precedes completion
+        if idx < 0 or idx >= len(rec.placement.placements):
+            # pragma: no cover - defensive; upstream bookkeeping keeps armed
+            # positions in range
+            rec.latent = None
             return None
-        idx = min(idx, len(rec.placement.placements) - 1)
         return rec.placement.placements[idx].end
 
     def pending_overruns(self) -> tuple[tuple[int, float], ...]:
@@ -282,13 +388,131 @@ class RenegotiationDriver:
         rec.latent = None
         self._overrun_events += 1
         self._mark_affected(rec)
-        idx = min(pos - rec.completed_before, len(rec.placement.placements) - 1)
+        idx = pos - rec.completed_before
+        if not 0 <= idx < len(rec.placement.placements):
+            # An out-of-range armed position would mis-attribute the overrun
+            # to an unrelated task and re-offer finished work; detection
+            # (overrun_due) disarms those before they get here.
+            raise SimulationError(
+                f"overrun of job {job_id} armed at position {pos} outside "
+                f"its current placement"
+            )
         cut = rec.placement.placements[idx].end
         self.arbitrator.schedule.rollback_tail(rec.placement, cut)
         if self._replan(rec, cut, failed_index=idx, factor=factor) is None:
             self._lose(rec, cut, overrun=True)
             return False
         return True
+
+    # ------------------------------------------------------------------
+    # Mid-execution resizing (the reconfig engine's mechanics)
+    # ------------------------------------------------------------------
+
+    def live_finishes(self) -> tuple[tuple[int, float], ...]:
+        """(job_id, reserved finish) for every live job.
+
+        The simulator refreshes its completion-triggered resize events from
+        this after any event that moves reservations; stale queue entries
+        (finish no longer matching) are skipped when popped.
+        """
+        return tuple(
+            (job_id, rec.placement.finish)
+            for job_id, rec in self._live.items()
+        )
+
+    def inflight(self, job_id: int, now: float) -> tuple[int, TaskSpec] | None:
+        """``(width, task)`` of ``job_id``'s in-flight task at ``now``.
+
+        A task is in flight when it has started strictly before ``now``
+        and its reserved finish has not passed.  Jobs between tasks, not
+        yet started, or already finished yield ``None`` — the resize
+        engine only restarts work that is actually running.
+        """
+        rec = self._live.get(job_id)
+        if rec is None:
+            return None
+        cp = rec.placement
+        k = self._completed_count(rec, now)
+        if k >= len(cp.placements):
+            return None
+        lead = cp.placements[k]
+        if time_leq(now, lead.start) or time_leq(lead.end, now):
+            return None
+        return lead.processors, cp.chain.tasks[k]
+
+    def resize_remainder(
+        self,
+        job_id: int,
+        now: float,
+        *,
+        delay: float,
+        first_min_width: int | None = None,
+        first_max_width: int | None = None,
+    ) -> ResizeTxn | None:
+        """Tentatively restart a live job's in-flight task at a new width.
+
+        The grow/shrink primitive: the placement's tail is rolled back at
+        ``now``, and the remainder — the in-flight task restarted from
+        scratch with its full declared work (idempotent re-execution),
+        downstream tasks reshaped freely — is re-placed no earlier than
+        ``now + delay`` (the reconfiguration-cost charge) with the leading
+        width bounded by ``first_min_width``/``first_max_width``, against
+        the job's original absolute deadlines.  On success the reshaped
+        remainder is committed and a :class:`ResizeTxn` returned for the
+        caller to finalize or undo; on failure the original reservation is
+        restored and ``None`` returned (the schedule is untouched either
+        way until ``finalize()``).
+        """
+        from repro.core.malleable import MalleableScheduler
+
+        rec = self._live.get(job_id)
+        scheduler = self.arbitrator.scheduler
+        if rec is None or not isinstance(scheduler, MalleableScheduler):
+            return None
+        cp = rec.placement
+        k = self._completed_count(rec, now)
+        if k >= len(cp.placements):
+            return None
+        lead = cp.placements[k]
+        if time_leq(now, lead.start) or time_leq(lead.end, now):
+            return None  # between tasks or not started: nothing in flight
+        rebased = self._rebase(
+            cp.chain, tuple(cp.chain.tasks[k:]), cp.release, now
+        )
+        if rebased is None:
+            return None
+        executed = sum(
+            max(0.0, min(pl.end, now) - pl.start) * pl.processors
+            for pl in cp.placements
+        )
+        kept = sum(pl.area for pl in cp.placements[:k])
+        schedule = self.arbitrator.schedule
+        schedule.rollback_tail(cp, now)
+        new_cp = scheduler.resize_placement(
+            rebased,
+            now,
+            earliest=now + delay,
+            first_min_width=first_min_width,
+            first_max_width=first_max_width,
+            job_id=rec.job_id,
+            chain_index=cp.chain_index,
+        )
+        if new_cp is None:
+            schedule.restore_tail(cp, now)
+            return None
+        schedule.commit(new_cp)
+        return ResizeTxn(
+            driver=self,
+            rec=rec,
+            old_cp=cp,
+            new_cp=new_cp,
+            cut=now,
+            completed=k,
+            executed=executed,
+            kept=kept,
+            old_width=lead.processors,
+            delay=delay,
+        )
 
     # ------------------------------------------------------------------
     # Re-planning
@@ -298,6 +522,25 @@ class RenegotiationDriver:
         if not rec.affected:
             rec.affected = True
             self._affected += 1
+
+    def _completed_count(self, rec: _LiveJob, now: float) -> int:
+        """Tasks of ``rec.placement`` genuinely completed by ``now``.
+
+        An armed latent overrun caps the count at the afflicted task: the
+        overrun means that task is still running when its reservation
+        expires, so an event landing within ``TIME_EPS`` of (or after) the
+        reserved finish — before detection has fired — must not count it
+        as done.  Without the cap, ``completed_before`` advances past the
+        armed position, the overrun silently vanishes, and the job
+        spuriously survives with its slow task marked complete.
+        """
+        cp = rec.placement
+        k = sum(1 for pl in cp.placements if time_leq(pl.end, now))
+        if rec.latent is not None:
+            armed = rec.latent[0] - rec.completed_before
+            if 0 <= armed < k:
+                k = armed
+        return k
 
     def _rebase(
         self,
@@ -353,7 +596,7 @@ class RenegotiationDriver:
         if failed_index is not None:
             k = failed_index
         else:
-            k = sum(1 for pl in cp.placements if time_leq(pl.end, now))
+            k = self._completed_count(rec, now)
         executed = sum(
             max(0.0, min(pl.end, now) - pl.start) * pl.processors
             for pl in cp.placements
@@ -410,6 +653,11 @@ class RenegotiationDriver:
         else:
             rec.wasted += executed
             rec.completed_before = 0
+            # Switching configurations sidesteps the slow computation (see
+            # handle_overrun), so a still-armed overrun of the abandoned
+            # path dies with it; keeping it would index the *new* path's
+            # placements at the old path's position.
+            rec.latent = None
             self._path_switches += 1
             rec.current_quality = chain_quality(
                 rec.job.chains[orig_index],
@@ -510,6 +758,11 @@ class RenegotiationDriver:
                 self._base_capacity, self._horizon
             ),
             "wasted_work": self._wasted_total,
+            # Mid-execution resize totals (grow/shrink split is the
+            # reconfig engine's ledger, merged in by the simulator).
+            "resizes": self._resizes,
+            "resize_cost": self._resize_cost,
+            "resize_wasted": self._resize_wasted,
         }
         return ResilienceOutcome(
             resilience=resilience,

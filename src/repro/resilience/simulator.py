@@ -13,10 +13,21 @@ virtual times, in a single merged discrete-event loop:
 * **overrun detections** fire when an afflicted task's reserved finish
   passes; the driver rolls back and re-plans the job's remainder.
 
+With a :class:`~repro.resilience.reconfig.ReconfigEngine` attached (and
+the arbitrator malleable), the loop also exercises **mid-execution
+malleability**: reserved job completions become resize events that let
+running jobs grow onto the freed processors, capacity repairs trigger the
+same grow pass, and an arrival the arbitrator rejects may shrink a running
+job to make itself admissible (see :mod:`repro.resilience.reconfig`).
+
 Ties at one instant resolve overrun-detection first (the machine notices a
 task still running before it reacts to anything else at that time), then
-capacity changes, then arrivals — so a job arriving at the instant of a
-fault negotiates against the post-fault machine.
+capacity changes, then arrivals, then completion-triggered resizes — so a
+job arriving at the instant of a fault negotiates against the post-fault
+machine, and a job arriving at the instant another completes is offered
+the freed capacity *before* incumbents may grow onto it (growing first
+would let running jobs crowd out admissions they could not crowd out in
+the no-resize system).
 
 **Zero-event traces are the fault-free baseline, bit for bit**: with an
 empty trace the loop degenerates into the baseline arrival loop — the
@@ -38,6 +49,7 @@ from repro.errors import ScheduleConsistencyError, SimulationError
 from repro.model.job import Job
 from repro.resilience.driver import RenegotiationDriver
 from repro.resilience.events import OverrunEvent, PerturbationTrace
+from repro.resilience.reconfig import ReconfigEngine
 from repro.sim.metrics import MetricsCollector, RunMetrics
 
 __all__ = ["ResilientSimulator", "simulate_resilient"]
@@ -45,8 +57,11 @@ __all__ = ["ResilientSimulator", "simulate_resilient"]
 #: A job factory maps (sequence number, release time) to a fresh Job.
 JobFactory = Callable[[int, float], Job]
 
-# Event kinds, in tie-break order at equal times.
-_OVERRUN, _CAPACITY, _ARRIVAL = 0, 1, 2
+# Event kinds, in tie-break order at equal times.  Completion-triggered
+# resizes sort *after* arrivals so same-instant admissions see the machine
+# the no-resize system would have shown them (bit-identity when resizing
+# is off is regression-tested).
+_OVERRUN, _CAPACITY, _ARRIVAL, _RESIZE = 0, 1, 2, 3
 
 #: Tolerance when matching a queued overrun detection against the current
 #: due time — entries that drifted (the placement was re-planned) are stale.
@@ -82,6 +97,10 @@ class ResilientSimulator:
         re-planned chains are rebased remainders, so configuration match
         and plain-commit ledger checks are off).  Violations raise
         :class:`~repro.errors.VerificationError` at the offending event.
+    reconfig:
+        Optional mid-execution resize engine.  Ignored (fully inert, bit
+        for bit) unless its policy enables a direction *and* the
+        arbitrator is malleable — rigid placements cannot be reshaped.
     """
 
     def __init__(
@@ -91,14 +110,22 @@ class ResilientSimulator:
         trace: PerturbationTrace,
         verify: bool = True,
         audit: bool = False,
+        reconfig: ReconfigEngine | None = None,
     ) -> None:
         self.arbitrator = arbitrator
         self.job_factory = job_factory
         self.trace = trace
         self.verify = verify
         self.audit = audit
+        self.reconfig = reconfig
+        self._resizing = (
+            reconfig is not None and reconfig.active and arbitrator.malleable
+        )
         self.collector = MetricsCollector()
         self.driver = RenegotiationDriver(arbitrator)
+        if self._resizing:
+            assert reconfig is not None
+            reconfig.bind(self.driver)
         self._offered: list[Job] = []
 
     def run(self, arrivals: Iterable[float]) -> RunMetrics:
@@ -128,29 +155,59 @@ class ResilientSimulator:
             if kind == _ARRIVAL:
                 self._on_arrival(ref, t, overruns.get(ref), heap)
             elif kind == _CAPACITY:
+                was_capacity = self.arbitrator.capacity
                 self.driver.on_capacity_change(self.trace.capacity_events[ref])
-                # Re-plans move reserved finishes; refresh detection events
-                # (stale queue entries are skipped when popped).
+                grown = False
+                if self._resizing and self.arbitrator.capacity > was_capacity:
+                    # A repair freed processors: let running jobs grow onto
+                    # them (after every displaced job has been re-planned).
+                    assert self.reconfig is not None
+                    grown = bool(self.reconfig.grow_all(t))
+                # Re-plans and resizes move reserved finishes; refresh
+                # detection and resize events (stale queue entries are
+                # skipped when popped).
                 for job_id, due in self.driver.pending_overruns():
                     heapq.heappush(heap, (due, _OVERRUN, job_id))
+                self._push_resizes(heap)
                 if self.verify:
                     self.driver.check_consistency()
                 if self.audit:
-                    self._run_audit(f"capacity event at t={t:g}")
-            else:  # _OVERRUN
+                    context = f"capacity event at t={t:g}"
+                    if grown:
+                        context += " (post-repair grow)"
+                    self._run_audit(context)
+            elif kind == _OVERRUN:
                 due = self.driver.overrun_due(ref)
                 if due is None or abs(due - t) > _DUE_EPS:
                     continue  # consumed, job retired, or a stale entry
                 self.driver.handle_overrun(ref)
+                self._push_resizes(heap)
                 if self.verify:
                     self.driver.check_consistency()
                 if self.audit:
                     self._run_audit(f"overrun of job {ref} at t={t:g}")
+            else:  # _RESIZE: a reserved completion freed capacity
+                finishes = dict(self.driver.live_finishes())
+                due = finishes.get(ref)
+                if due is None or abs(due - t) > _DUE_EPS:
+                    continue  # already retired, or a stale (moved) entry
+                assert self.reconfig is not None
+                self.driver.sweep_finished(t)
+                if self.reconfig.grow_all(t):
+                    for job_id, odue in self.driver.pending_overruns():
+                        heapq.heappush(heap, (odue, _OVERRUN, job_id))
+                    self._push_resizes(heap)
+                    if self.verify:
+                        self.driver.check_consistency()
+                    if self.audit:
+                        self._run_audit(
+                            f"grow on completion of job {ref} at t={t:g}"
+                        )
 
         if self.audit:
             self._run_audit("end of run")
 
-        if self.trace.empty:
+        if self.trace.empty and not self._resizing:
             # Structurally identical finalization to ArrivalSimulator.
             sched = self.arbitrator.schedule
             return self.collector.finalize(
@@ -163,13 +220,17 @@ class ResilientSimulator:
 
         self.driver.sweep_finished(math.inf)
         outcome = self.driver.finalize(self.trace, burst_arrivals=n_bursts)
+        resilience = outcome.resilience
+        if self._resizing:
+            assert self.reconfig is not None
+            resilience = {**resilience, **self.reconfig.ledger()}
         return self.collector.finalize(
             utilization=outcome.utilization,
             chain_usage=self.arbitrator.chain_usage(),
             achieved_quality=outcome.achieved_quality,
             horizon=outcome.horizon,
             perf=self.arbitrator.perf_snapshot(),
-            resilience=outcome.resilience,
+            resilience=resilience,
         )
 
     # ------------------------------------------------------------------
@@ -190,6 +251,19 @@ class ResilientSimulator:
         if self.audit:
             self._offered.append(job)
         decision = self.arbitrator.submit(job)
+        shrunk = False
+        if (
+            not decision.admitted
+            and self._resizing
+            and self.reconfig is not None
+            and self.reconfig.policy.shrinks
+        ):
+            # Capacity pressure: try narrowing one running job so this
+            # arrival fits (kept only when the re-offer then admits).
+            rescue = self.reconfig.shrink_to_admit(job, release, self.arbitrator)
+            if rescue is not None:
+                decision, _donor = rescue
+                shrunk = True
         deadline = None
         if decision.admitted and decision.placement is not None:
             cp = decision.placement
@@ -206,7 +280,27 @@ class ResilientSimulator:
                 due = self.driver.overrun_due(job.job_id)
                 if due is not None:
                     heapq.heappush(heap, (due, _OVERRUN, job.job_id))
+            if self._resizing:
+                heapq.heappush(heap, (cp.finish, _RESIZE, job.job_id))
+        if shrunk:
+            # The donor's reservation (and possibly its overrun due) moved.
+            for job_id, due in self.driver.pending_overruns():
+                heapq.heappush(heap, (due, _OVERRUN, job_id))
+            self._push_resizes(heap)
+            if self.verify:
+                self.driver.check_consistency()
+            if self.audit:
+                self._run_audit(
+                    f"shrink-to-admit of job {job.job_id} at t={release:g}"
+                )
         self.collector.observe(decision, deadline)
+
+    def _push_resizes(self, heap: list[tuple[float, int, int]]) -> None:
+        """Refresh completion-triggered resize events from live finishes."""
+        if not self._resizing:
+            return
+        for job_id, finish in self.driver.live_finishes():
+            heapq.heappush(heap, (finish, _RESIZE, job_id))
 
     def _run_audit(self, context: str) -> None:
         """Independent live-schedule audit (the ``audit=True`` hook)."""
@@ -238,7 +332,15 @@ def simulate_resilient(
     trace: PerturbationTrace,
     verify: bool = True,
     audit: bool = False,
+    reconfig: ReconfigEngine | None = None,
 ) -> RunMetrics:
     """Convenience wrapper: one perturbed run over explicit arrival times."""
-    sim = ResilientSimulator(arbitrator, job_factory, trace, verify=verify, audit=audit)
+    sim = ResilientSimulator(
+        arbitrator,
+        job_factory,
+        trace,
+        verify=verify,
+        audit=audit,
+        reconfig=reconfig,
+    )
     return sim.run(arrivals)

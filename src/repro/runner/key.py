@@ -27,6 +27,7 @@ from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import ConfigurationError
 from repro.resilience.events import FaultModel
+from repro.resilience.reconfig import ResizePolicy
 from repro.workloads.sweep import SweepConfig
 from repro.workloads.synthetic import SyntheticParams
 
@@ -41,8 +42,12 @@ __all__ = [
 #: Bump when the meaning of a serialized config (or the simulation it
 #: feeds) changes incompatibly; old cache entries then miss instead of
 #: resurfacing stale results.  v2: SweepConfig gained the ``faults``
-#: field and RunMetrics the ``resilience`` block.
-KEY_VERSION = 2
+#: field and RunMetrics the ``resilience`` block.  v3: mid-execution
+#: malleability — SweepConfig gained ``resize_policy``/``reconfig_cost``/
+#: ``reconfig_cost_per_proc``, the resilience block gained the resize
+#: ledger, and the renegotiation driver's overrun bookkeeping fixes
+#: changed perturbed-run outcomes.
+KEY_VERSION = 3
 
 
 def canonical_json(obj: object) -> str:
@@ -111,6 +116,9 @@ def sweep_config_to_dict(config: SweepConfig) -> dict[str, object]:
         "policy": config.policy.value,
         "verify": config.verify,
         "faults": _faults_to_dict(config.faults),
+        "resize_policy": config.resize_policy.value,
+        "reconfig_cost": config.reconfig_cost,
+        "reconfig_cost_per_proc": config.reconfig_cost_per_proc,
     }
 
 
@@ -128,6 +136,12 @@ def sweep_config_from_dict(data: Mapping[str, object]) -> SweepConfig:
             policy=TieBreakPolicy(data["policy"]),
             verify=bool(data["verify"]),
             faults=_faults_from_dict(data.get("faults")),  # type: ignore[arg-type]
+            # Absent in pre-v3 payloads: resizing off, zero cost.
+            resize_policy=ResizePolicy(data.get("resize_policy", "off")),
+            reconfig_cost=float(data.get("reconfig_cost", 0.0)),  # type: ignore[arg-type]
+            reconfig_cost_per_proc=float(
+                data.get("reconfig_cost_per_proc", 0.0)  # type: ignore[arg-type]
+            ),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed sweep-config payload: {exc}") from exc

@@ -71,28 +71,23 @@ def _audit_file(path: Path) -> list[str]:
 
 def _run_selftest() -> list[str]:
     """Every seeded mutant must be flagged; the clean baseline must pass."""
-    from repro.verify.auditor import ScheduleAuditor
-    from repro.verify.mutants import build_all_mutants, clean_baseline
+    from repro.verify.mutants import audit_scenario, build_all_mutants, clean_baseline
 
     failures: list[str] = []
     control = clean_baseline()
-    report = ScheduleAuditor(malleable=control.malleable).audit(
-        control.schedule, control.jobs
-    )
-    if not report.ok:
-        failures.append(f"clean baseline dirty: {report.summary()}")
+    codes = audit_scenario(control)
+    if codes:
+        failures.append(f"clean baseline dirty: {sorted(codes)}")
     scenarios = build_all_mutants()
     caught = 0
     for scenario in scenarios:
-        report = ScheduleAuditor(malleable=scenario.malleable).audit(
-            scenario.schedule, scenario.jobs
-        )
-        if scenario.expected_code in report.codes:
+        codes = audit_scenario(scenario)
+        if scenario.expected_code in codes:
             caught += 1
         else:
             failures.append(
                 f"mutant {scenario.name}: expected [{scenario.expected_code}]"
-                f", got {sorted(report.codes) or 'a clean audit'}"
+                f", got {sorted(codes) or 'a clean audit'}"
             )
     print(f"selftest: auditor caught {caught}/{len(scenarios)} mutants")
     return failures

@@ -35,6 +35,14 @@ Invariant catalogue (violation ``code`` values)
 ``ledger.area``     ``committed_area`` differs from the summed placement area
 ``ledger.window``   ``first_release``/``last_finish`` are stale
 ``ledger.util``     ``utilization()`` differs from the recomputed quotient
+``resize.area``     a resized task's restarted placement is not
+                    work-conserving for the task's full declared area
+``resize.overlap``  a resized task restarts before the resize instant plus
+                    the charged reconfiguration delay (it would overlap the
+                    completed/consumed prefix it is replacing)
+``resize.width``    a resize leaves the declared width band, or its
+                    direction contradicts its kind (a "grow" that narrows,
+                    a "shrink" that widens, or a no-op width)
 ================== =========================================================
 
 Tolerances: the auditor uses its own epsilon (:data:`AUDIT_EPS`, equal in
@@ -257,6 +265,92 @@ class ScheduleAuditor:
             violations=tuple(self._violations),
             checked_placements=len(placements),
             checked_slices=slices,
+        )
+
+    def audit_resizes(self, records: "Iterable[object]") -> AuditReport:
+        """Audit a mid-execution resize stream (``ResizeRecord`` objects).
+
+        Re-derives the grow/shrink invariants from each record's data alone
+        (see :class:`repro.resilience.reconfig.ResizeRecord`; any object
+        with the same attributes audits identically):
+
+        * **area conservation under the cost charge** (``resize.area``):
+          the restarted placement must carry the task's *full* declared
+          work — restart-from-scratch means no credit for the consumed
+          partial run, and the reconfiguration delay must never be paid
+          for by shrinking the restarted area;
+        * **no overlap with the consumed prefix** (``resize.overlap``):
+          the restart may begin no earlier than the resize instant plus
+          the charged delay (and the delay itself must be non-negative);
+        * **width discipline** (``resize.width``): the new width stays in
+          the declared ``[min_width, max_width]`` band and moves in the
+          direction the record claims (a grow widens, a shrink narrows).
+        """
+        self._violations = []
+        checked = 0
+        for rec in records:
+            checked += 1
+            job_id = rec.job_id
+            task = rec.task
+            new_area = rec.new_width * rec.new_duration
+            if abs(new_area - rec.task_area) > _AREA_RTOL * max(
+                1.0, rec.task_area
+            ):
+                self._flag(
+                    "resize.area",
+                    f"restarted placement carries {new_area:g} "
+                    f"processor-time, task declares {rec.task_area:g}",
+                    job_id,
+                    task,
+                    rec.time,
+                )
+            if rec.delay < 0:
+                self._flag(
+                    "resize.overlap",
+                    f"negative reconfiguration delay {rec.delay:g}",
+                    job_id,
+                    task,
+                    rec.time,
+                )
+            if rec.new_start < rec.time + rec.delay - self.eps:
+                self._flag(
+                    "resize.overlap",
+                    f"restart at {rec.new_start:g} precedes resize time "
+                    f"{rec.time:g} + delay {rec.delay:g}",
+                    job_id,
+                    task,
+                    rec.new_start,
+                )
+            if not rec.min_width <= rec.new_width <= rec.max_width:
+                self._flag(
+                    "resize.width",
+                    f"new width {rec.new_width}p outside "
+                    f"[{rec.min_width}, {rec.max_width}]",
+                    job_id,
+                    task,
+                    rec.time,
+                )
+            if rec.kind == "grow" and rec.new_width <= rec.old_width:
+                self._flag(
+                    "resize.width",
+                    f"grow from {rec.old_width}p to {rec.new_width}p "
+                    "does not widen",
+                    job_id,
+                    task,
+                    rec.time,
+                )
+            elif rec.kind == "shrink" and rec.new_width >= rec.old_width:
+                self._flag(
+                    "resize.width",
+                    f"shrink from {rec.old_width}p to {rec.new_width}p "
+                    "does not narrow",
+                    job_id,
+                    task,
+                    rec.time,
+                )
+        return AuditReport(
+            violations=tuple(self._violations),
+            checked_placements=checked,
         )
 
     # ------------------------------------------------------------------

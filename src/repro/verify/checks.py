@@ -28,7 +28,7 @@ from repro.core.arbitrator import QoSArbitrator
 from repro.core.placement import ChainPlacement, Placement
 from repro.errors import VerificationError
 from repro.model.job import Job
-from repro.resilience.events import generate_trace
+from repro.resilience.events import PerturbationTrace, generate_trace
 from repro.resilience.simulator import simulate_resilient
 from repro.sim.arrivals import PoissonArrivals
 from repro.sim.metrics import RunMetrics
@@ -83,22 +83,27 @@ def audited_point(
         prune=config.prune,
         keep_placements=True,
     )
-    if perturbed:
+    engine = config.reconfig_engine()
+    if perturbed or engine is not None:
         arrivals = list(process.times(config.n_jobs))
-        horizon = (arrivals[-1] if arrivals else 0.0) + config.params.d2
-        trace = generate_trace(
-            config.faults,
-            streams,
-            horizon=horizon,
-            base_capacity=config.processors,
-            n_arrivals=config.n_jobs,
-        )
+        if perturbed:
+            horizon = (arrivals[-1] if arrivals else 0.0) + config.params.d2
+            trace = generate_trace(
+                config.faults,
+                streams,
+                horizon=horizon,
+                base_capacity=config.processors,
+                n_arrivals=config.n_jobs,
+            )
+        else:
+            trace = PerturbationTrace()
         metrics = simulate_resilient(
             arbitrator,
             recording_factory,
             arrivals,
             trace,
             verify=config.verify,
+            reconfig=engine,
         )
         # Renegotiated schedules legitimately diverge from the plain
         # commit/rollback ledger: consumed stubs stay accounted, re-planned
@@ -123,6 +128,14 @@ def audited_point(
         )
         auditor = ScheduleAuditor(malleable=config.malleable)
     report = auditor.audit(arbitrator.schedule, offered)
+    if engine is not None and engine.records:
+        resize_report = auditor.audit_resizes(engine.records)
+        report = AuditReport(
+            violations=report.violations + resize_report.violations,
+            checked_placements=report.checked_placements
+            + resize_report.checked_placements,
+            checked_slices=report.checked_slices,
+        )
     return metrics, report
 
 

@@ -26,13 +26,24 @@ from repro.core.schedule import Schedule
 from repro.model.chain import TaskChain
 from repro.model.job import Job
 from repro.model.task import TaskSpec
+from repro.resilience.reconfig import ResizeRecord
 
-__all__ = ["MutantScenario", "MUTANT_BUILDERS", "build_all_mutants"]
+__all__ = [
+    "MutantScenario",
+    "MUTANT_BUILDERS",
+    "audit_scenario",
+    "build_all_mutants",
+]
 
 
 @dataclass(frozen=True, slots=True)
 class MutantScenario:
-    """One corrupted schedule plus the violation the auditor must raise."""
+    """One corrupted schedule plus the violation the auditor must raise.
+
+    ``resizes`` optionally carries a mid-execution resize stream to run
+    through :meth:`~repro.verify.auditor.ScheduleAuditor.audit_resizes`
+    alongside the schedule audit; the expected code may come from either.
+    """
 
     name: str
     expected_code: str
@@ -40,6 +51,7 @@ class MutantScenario:
     jobs: tuple[Job, ...]
     malleable: bool = False
     description: str = ""
+    resizes: tuple[ResizeRecord, ...] = ()
 
 
 def _task(
@@ -111,13 +123,53 @@ def _pair() -> tuple[Schedule, Job, Job]:
     return Schedule(4), a, b
 
 
+def _resize(**overrides) -> ResizeRecord:
+    """A valid grow record; builders override exactly one field to plant a bug.
+
+    Baseline: a 2p x 6t task (area 12) interrupted at t=10 restarts on 3p
+    for 4t after a 1t reconfiguration charge — work-conserving, inside its
+    [1, 4] width band, starting exactly at ``time + delay``.
+    """
+    base = dict(
+        kind="grow",
+        job_id=0,
+        task="m0",
+        time=10.0,
+        delay=1.0,
+        old_width=2,
+        new_width=3,
+        min_width=1,
+        max_width=4,
+        task_area=12.0,
+        new_start=11.0,
+        new_duration=4.0,
+    )
+    base.update(overrides)
+    return ResizeRecord(**base)
+
+
 def clean_baseline() -> MutantScenario:
     """Not a mutant: the uncorrupted scenario, which must audit clean."""
     schedule, a, b = _pair()
     _raw_commit(schedule, _rigid_cp(a, 0.0, 4.0))
     _raw_commit(schedule, _rigid_cp(b, 1.0))
     return MutantScenario(
-        "clean_baseline", "", schedule, (a, b), description="control; no bug"
+        "clean_baseline",
+        "",
+        schedule,
+        (a, b),
+        description="control; no bug",
+        resizes=(
+            _resize(),
+            _resize(
+                kind="shrink",
+                old_width=3,
+                new_width=2,
+                new_start=11.5,
+                new_duration=6.0,
+                delay=1.0,
+            ),
+        ),
     )
 
 
@@ -362,6 +414,60 @@ def nonconserving_reshape() -> MutantScenario:
     )
 
 
+def resize_sheds_work() -> MutantScenario:
+    """A resize that pays its reconfiguration cost by shrinking the work.
+
+    The restarted placement carries 3p x 3t = 9 processor-time for a task
+    declaring 12 — the classic unsound shortcut where the restart keeps
+    credit for the consumed partial run instead of re-executing from
+    scratch (the Calypso model the accounting assumes).
+    """
+    return MutantScenario(
+        "resize_sheds_work",
+        "resize.area",
+        Schedule(4),
+        (),
+        malleable=True,
+        description="restarted task area 9 for a 12-area task",
+        resizes=(_resize(new_duration=3.0),),
+    )
+
+
+def resize_overlaps_prefix() -> MutantScenario:
+    """A resize whose restart begins inside the charged reconfiguration window.
+
+    The restart at t=10.5 precedes ``time + delay = 11``: the new placement
+    overlaps the checkpoint/redistribute interval — and, transitively, the
+    consumed prefix the cut at ``time`` was protecting.
+    """
+    return MutantScenario(
+        "resize_overlaps_prefix",
+        "resize.overlap",
+        Schedule(4),
+        (),
+        malleable=True,
+        description="restart at 10.5 before resize time 10 + delay 1",
+        resizes=(_resize(new_start=10.5),),
+    )
+
+
+def resize_width_runaway() -> MutantScenario:
+    """A 'grow' that lands outside the task's declared width band.
+
+    6p exceeds ``max_width`` 4 (= min(max_concurrency, capacity)): the
+    resize stole processors the task's degree of concurrency cannot use.
+    """
+    return MutantScenario(
+        "resize_width_runaway",
+        "resize.width",
+        Schedule(4),
+        (),
+        malleable=True,
+        description="grow to 6p past the [1, 4] width band",
+        resizes=(_resize(new_width=6, new_duration=2.0),),
+    )
+
+
 #: Every mutant builder, in catalogue order.  ``clean_baseline`` is not in
 #: here — it is the control the test suite audits separately.
 MUTANT_BUILDERS: tuple[Callable[[], MutantScenario], ...] = (
@@ -380,9 +486,29 @@ MUTANT_BUILDERS: tuple[Callable[[], MutantScenario], ...] = (
     missing_reservation,
     malleable_overwide,
     nonconserving_reshape,
+    resize_sheds_work,
+    resize_overlaps_prefix,
+    resize_width_runaway,
 )
 
 
 def build_all_mutants() -> list[MutantScenario]:
     """Fresh instances of every mutant scenario."""
     return [build() for build in MUTANT_BUILDERS]
+
+
+def audit_scenario(scenario: MutantScenario) -> set[str]:
+    """All violation codes the auditor raises against one scenario.
+
+    Runs the schedule audit and, when the scenario carries a resize
+    stream, the resize audit; the selftest (``python -m repro.verify
+    --selftest``) and the test suite share this so both always exercise
+    both checkers.
+    """
+    from repro.verify.auditor import ScheduleAuditor
+
+    auditor = ScheduleAuditor(malleable=scenario.malleable)
+    codes = set(auditor.audit(scenario.schedule, scenario.jobs).codes)
+    if scenario.resizes:
+        codes |= auditor.audit_resizes(scenario.resizes).codes
+    return codes

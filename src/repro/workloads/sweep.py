@@ -17,7 +17,8 @@ from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import WorkloadError
 from repro.model.job import Job
-from repro.resilience.events import FaultModel, generate_trace
+from repro.resilience.events import FaultModel, PerturbationTrace, generate_trace
+from repro.resilience.reconfig import ReconfigCostModel, ReconfigEngine, ResizePolicy
 from repro.resilience.simulator import simulate_resilient
 from repro.sim.arrivals import PoissonArrivals
 from repro.sim.metrics import RunMetrics
@@ -44,6 +45,16 @@ class SweepConfig:
     :class:`~repro.resilience.events.FaultModel`; ``None`` (or an
     all-zero-rate model) runs the fault-free baseline simulator,
     bit-identically to configs predating the field.
+
+    ``resize_policy``/``reconfig_cost`` enable mid-execution grow/shrink of
+    running malleable jobs (:mod:`repro.resilience.reconfig`); any enabled
+    direction routes the point through the fault-aware simulator (with an
+    empty trace when ``faults`` is off) since only its event loop can fire
+    resize events.  ``reconfig_cost`` is the fixed checkpoint term of the
+    :class:`~repro.resilience.reconfig.ReconfigCostModel`;
+    ``reconfig_cost_per_proc`` its per-processor redistribute term.
+    ``ResizePolicy.OFF`` (the default) is bit-identical to configs
+    predating the fields.
     """
 
     params: SyntheticParams = field(default_factory=presets.default_params)
@@ -56,12 +67,29 @@ class SweepConfig:
     policy: TieBreakPolicy = TieBreakPolicy.PAPER
     verify: bool = True
     faults: FaultModel | None = None
+    resize_policy: ResizePolicy = ResizePolicy.OFF
+    reconfig_cost: float = 0.0
+    reconfig_cost_per_proc: float = 0.0
     #: Availability-profile scan back-end; all back-ends make bit-identical
     #: decisions (see :data:`repro.core.profile.PROFILE_BACKENDS`).
     backend: str = "auto"
     #: Candidate-search pruning; decisions are identical either way (see
     #: :mod:`repro.core.greedy`).
     prune: bool = True
+
+    @property
+    def resizing(self) -> bool:
+        """Whether this config exercises mid-execution resizing at all."""
+        return self.malleable and self.resize_policy is not ResizePolicy.OFF
+
+    def reconfig_engine(self) -> ReconfigEngine | None:
+        """Fresh resize engine for one run, or ``None`` when inert."""
+        if not self.resizing:
+            return None
+        return ReconfigEngine(
+            self.resize_policy,
+            ReconfigCostModel(self.reconfig_cost, self.reconfig_cost_per_proc),
+        )
 
     def with_axis(self, axis: str, value: float) -> "SweepConfig":
         """Copy of this config with ``axis`` set to ``value``."""
@@ -76,6 +104,8 @@ class SweepConfig:
         if axis == "fault_rate":
             model = self.faults if self.faults is not None else FaultModel()
             return replace(self, faults=model.with_fault_rate(float(value)))
+        if axis == "reconfig_cost":
+            return replace(self, reconfig_cost=float(value))
         raise WorkloadError(f"unknown sweep axis {axis!r}")
 
 
@@ -96,20 +126,27 @@ def run_point(config: SweepConfig, system: str) -> RunMetrics:
     With a non-empty fault model, the arrivals are drawn first (from the
     same substreams as the fault-free path — the perturbation trace uses
     disjoint substreams, so arrivals match the fault-free run exactly) and
-    replayed through the fault-aware simulator.
+    replayed through the fault-aware simulator.  An enabled resize policy
+    routes through the same simulator (with an empty trace when faults are
+    off) so completion-/pressure-triggered resize events can fire; only the
+    ``tunable`` system is malleable, so rigid systems never resize.
     """
     streams = RandomStreams(config.seed)
     process = PoissonArrivals(config.interval, streams)
-    if config.faults is not None and not config.faults.empty:
+    faulty = config.faults is not None and not config.faults.empty
+    if faulty or config.resizing:
         arrivals = list(process.times(config.n_jobs))
-        horizon = (arrivals[-1] if arrivals else 0.0) + config.params.d2
-        trace = generate_trace(
-            config.faults,
-            streams,
-            horizon=horizon,
-            base_capacity=config.processors,
-            n_arrivals=config.n_jobs,
-        )
+        if faulty:
+            horizon = (arrivals[-1] if arrivals else 0.0) + config.params.d2
+            trace = generate_trace(
+                config.faults,
+                streams,
+                horizon=horizon,
+                base_capacity=config.processors,
+                n_arrivals=config.n_jobs,
+            )
+        else:
+            trace = PerturbationTrace()
         arbitrator = QoSArbitrator(
             config.processors,
             malleable=config.malleable,
@@ -125,6 +162,7 @@ def run_point(config: SweepConfig, system: str) -> RunMetrics:
             arrivals,
             trace,
             verify=config.verify,
+            reconfig=config.reconfig_engine(),
         )
     arbitrator = QoSArbitrator(
         config.processors,

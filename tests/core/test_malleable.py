@@ -103,6 +103,40 @@ class TestEarliestFinishStrategy:
         # On an empty machine the widest is strictly fastest anyway.
         assert cp.placements[0].processors == 8
 
+    def test_near_tie_set_favours_widest_within_eps(self):
+        """Exact regression for the running-best drift bug.
+
+        Finish times wide-to-narrow: 10, 10-0.6eps, 10-1.2eps.  The true
+        minimum is the narrow 10-1.2eps; the width-2 candidate ties it
+        within TIME_EPS while width 3 (1.2eps away) does not.  Comparing
+        each candidate only against the running best instead discards
+        width 2 against width 3's end and hands the tie to width 1.
+        """
+        s = Schedule(3)
+        # Free width over time: 0 until the 1-wide window opens, then 1,
+        # then 2, then 3 — staggered so each width's earliest finish lands
+        # sub-eps apart.
+        s.profile.reserve(0.0, 4.0 - 1.2e-9, 1)
+        s.profile.reserve(0.0, 7.0 - 0.6e-9, 1)
+        s.profile.reserve(0.0, 8.0, 1)
+        m = MalleableScheduler(s, strategy=MalleableStrategy.EARLIEST_FINISH)
+        cp = m.place_chain(chain(task("a", 3, 2.0, 100.0)), release=0.0)
+        pl = cp.placements[0]
+        assert pl.processors == 2
+        assert pl.end == pytest.approx(10.0, abs=1e-8)
+
+    def test_degenerate_band_min_processors_equals_width_cap(self):
+        """A single-width band must still place (and pick that width)."""
+        s = Schedule(3)
+        s.profile.reserve(0.0, 8.0, 1)  # widest-only fit starts at 8
+        m = MalleableScheduler(
+            s, strategy=MalleableStrategy.EARLIEST_FINISH, min_processors=3
+        )
+        cp = m.place_chain(chain(task("a", 3, 2.0, 100.0)), release=0.0)
+        pl = cp.placements[0]
+        assert pl.processors == 3
+        assert pl.start == pytest.approx(8.0)
+
 
 class TestQuickReject:
     def test_wide_task_not_rejected(self):

@@ -11,7 +11,7 @@ import math
 import pytest
 
 from repro.core.arbitrator import QoSArbitrator
-from repro.core.resources import ProcessorTimeRequest
+from repro.core.resources import TIME_EPS, ProcessorTimeRequest
 from repro.errors import SimulationError
 from repro.model.chain import TaskChain
 from repro.model.job import Job
@@ -227,3 +227,54 @@ class TestAccounting:
         driver.register(job, admit(arb, job))
         with pytest.raises(SimulationError, match="still live"):
             driver.finalize(PerturbationTrace())
+
+
+class TestOverrunAtTaskFinishBoundary:
+    """Regression for the remainder-slicing completed-count clamp.
+
+    A capacity event landing within TIME_EPS of an overrun-armed task's
+    reserved finish must NOT count that task as completed: the overrun has
+    not been detected yet, so the task's true duration is still unknown and
+    the re-plan must re-offer it.  Before the clamp, the ``start < tau``
+    slice counted it done, the re-plan dropped it, and the armed overrun
+    silently disarmed — the job then "finished" at its optimistic length.
+    """
+
+    @pytest.mark.parametrize(
+        "offset", [-TIME_EPS / 2, 0.0, TIME_EPS / 2]
+    )
+    def test_event_at_armed_finish_keeps_task_and_overrun(self, offset):
+        arb = QoSArbitrator(8, keep_placements=True)
+        driver = RenegotiationDriver(arb)
+        blocker = Job(
+            chains=(
+                TaskChain(
+                    (
+                        TaskSpec(
+                            "b", ProcessorTimeRequest(6, 30.0), deadline=100.0
+                        ),
+                    ),
+                    label="only",
+                ),
+            ),
+            release=0.0,
+            name="blocker",
+        )
+        driver.register(blocker, admit(arb, blocker))  # [0, 30) x 6
+        victim = chain2_job(w0=2, w1=2, release=5.0)  # [5,15), [15,25) x 2
+        driver.register(
+            victim, admit(arb, victim), overrun=OverrunEvent(0, 0, 2.0)
+        )
+        assert driver.overrun_due(victim.job_id) == pytest.approx(15.0)
+
+        # Capacity drops to 7 exactly at (within eps of) t0's finish: the
+        # blocker carries (6 <= 7) but the victim can't (only 1 free), so
+        # it re-plans — and must re-offer BOTH tasks, t0 included.
+        driver.on_capacity_change(CapacityEvent(15.0 + offset, 7))
+        driver.check_consistency()
+        rec = driver._live[victim.job_id]
+        assert len(rec.placement.placements) == 2
+        due = driver.overrun_due(victim.job_id)
+        assert due is not None  # overrun still armed on the re-offered t0
+        assert due == pytest.approx(rec.placement.placements[0].end)
+        assert driver.handle_overrun(victim.job_id) is True

@@ -1,0 +1,61 @@
+"""Regression for the committed reconfig-experiment claim.
+
+The committed rate 3e-4 is the regime where mid-execution malleability
+pays for itself at *every* committed reconfiguration cost — that claim is
+what EXPERIMENTS.md and the corpus entries rest on, so it is pinned here
+at full committed scale (n=300, one rate, all three costs; ~4 simulation
+points).
+"""
+
+import pytest
+
+from repro.experiments.reconfig import (
+    DEFAULT_RECONFIG_COSTS,
+    reconfig_benefit,
+    render_reconfig,
+    run_reconfig,
+)
+from repro.experiments.registry import EXPERIMENTS
+
+COMMITTED_RATE = 3e-4
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_reconfig(rates=(COMMITTED_RATE,), costs=DEFAULT_RECONFIG_COSTS)
+
+
+class TestCommittedClaim:
+    def test_resize_beats_no_resize_at_every_committed_cost(self, result):
+        off = reconfig_benefit(result.off[COMMITTED_RATE])
+        for cost in result.costs:
+            on = reconfig_benefit(result.on[(COMMITTED_RATE, cost)])
+            assert on > off, (
+                f"grow/shrink lost at cost {cost}: {on} <= {off}"
+            )
+
+    def test_both_directions_fire_at_zero_cost(self, result):
+        r = result.on[(COMMITTED_RATE, 0.0)].resilience
+        assert r["grows"] >= 1
+        assert r["shrink_admits"] >= 1
+
+    def test_costly_resizes_are_charged(self, result):
+        r = result.on[(COMMITTED_RATE, 8.0)].resilience
+        assert r["resizes"] >= 1
+        assert r["resize_cost"] > 0.0
+
+    def test_off_arm_has_no_resize_activity(self, result):
+        r = result.off[COMMITTED_RATE].resilience
+        assert r.get("resizes", 0) == 0
+        assert r.get("resize_cost", 0.0) == 0.0
+
+
+class TestRegistryAndRender:
+    def test_registered(self):
+        assert "reconfig" in EXPERIMENTS
+
+    def test_render_mentions_the_axes(self, result):
+        text = render_reconfig(result)
+        assert "grow" in text
+        assert "benefit" in text
+        assert "0.0003" in text

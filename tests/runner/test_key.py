@@ -8,6 +8,7 @@ from repro.core.malleable import MalleableStrategy
 from repro.core.policies import TieBreakPolicy
 from repro.errors import ConfigurationError
 from repro.resilience.events import FaultModel
+from repro.resilience.reconfig import ResizePolicy
 from repro.runner import sweep_config_from_dict, sweep_config_to_dict, unit_key
 from repro.workloads.sweep import SweepConfig
 
@@ -62,6 +63,33 @@ class TestConfigRoundTrip:
         with pytest.raises(ConfigurationError, match="malformed"):
             sweep_config_from_dict({"processors": 4})
 
+    def test_resize_fields_round_trip(self):
+        cfg = SweepConfig(
+            malleable=True,
+            resize_policy=ResizePolicy.GROW_SHRINK,
+            reconfig_cost=2.5,
+            reconfig_cost_per_proc=0.25,
+        )
+        back = sweep_config_from_dict(sweep_config_to_dict(cfg))
+        assert back == cfg
+        assert back.resize_policy is ResizePolicy.GROW_SHRINK
+        assert back.reconfig_cost == 2.5
+        assert back.reconfig_cost_per_proc == 0.25
+
+    def test_pre_v3_payload_defaults_resize_off(self):
+        """Configs serialized before the resize fields still deserialize."""
+        payload = sweep_config_to_dict(SweepConfig())
+        for legacy_absent in (
+            "resize_policy",
+            "reconfig_cost",
+            "reconfig_cost_per_proc",
+        ):
+            del payload[legacy_absent]
+        back = sweep_config_from_dict(payload)
+        assert back == SweepConfig()
+        assert back.resize_policy is ResizePolicy.OFF
+        assert not back.resizing
+
 
 class TestUnitKey:
     def test_deterministic(self):
@@ -90,6 +118,9 @@ class TestUnitKey:
             {"verify": False},
             {"faults": FaultModel(fault_rate=1e-4)},
             {"faults": FaultModel(overrun_prob=0.2)},
+            {"resize_policy": ResizePolicy.GROW_SHRINK},
+            {"reconfig_cost": 2.0},
+            {"reconfig_cost_per_proc": 0.5},
         ],
     )
     def test_every_config_field_changes_key(self, change):

@@ -26,6 +26,7 @@ from repro.model.chain import TaskChain  # noqa: E402
 from repro.model.job import Job  # noqa: E402
 from repro.model.task import TaskSpec  # noqa: E402
 from repro.resilience.events import FaultModel  # noqa: E402
+from repro.resilience.reconfig import ResizePolicy  # noqa: E402
 from repro.runner.key import sweep_config_to_dict  # noqa: E402
 from repro.sim.persistence import metrics_to_dict  # noqa: E402
 from repro.verify.checks import audited_point  # noqa: E402
@@ -53,7 +54,13 @@ def _write(name: str, payload: dict) -> None:
     print(f"wrote {path.relative_to(CORPUS.parent.parent)}")
 
 
-def mint_sweep(name: str, note: str, config: SweepConfig, system: str) -> None:
+def mint_sweep(
+    name: str,
+    note: str,
+    config: SweepConfig,
+    system: str,
+    extra_expect: tuple[str, ...] = (),
+) -> None:
     metrics, report = audited_point(config, system)
     if not report.ok:
         raise SystemExit(f"{name}: refusing to mint a dirty point:\n{report.summary()}")
@@ -66,7 +73,7 @@ def mint_sweep(name: str, note: str, config: SweepConfig, system: str) -> None:
             "note": note,
             "config": sweep_config_to_dict(config),
             "system": system,
-            "expect": {k: full[k] for k in _EXPECT_KEYS},
+            "expect": {k: full[k] for k in _EXPECT_KEYS + extra_expect},
         },
     )
 
@@ -143,6 +150,46 @@ def main() -> None:
             ),
         ),
         "tunable",
+    )
+
+    # Mid-execution malleability: one entry per resize direction, pinning
+    # the full resilience block (resize ledger included) so a silent change
+    # in grow/shrink decisions fails the replay.  Both use the committed
+    # reconfig-experiment regime (severity 0.6 of P=32, repair 100,
+    # interval 35 — see repro.experiments.reconfig).
+    reconfig_model = FaultModel(
+        fault_severity=0.6,
+        mean_repair=100.0,
+        overrun_prob=0.10,
+        burst_rate=5e-5,
+        burst_size=4,
+    )
+    reconfig_base = replace(
+        base, processors=32, interval=35.0, n_jobs=300, malleable=True
+    )
+    mint_sweep(
+        "sweep-reconfig-grow-on-repair.json",
+        "grow-on-repair: capacity repairs re-widen running jobs that were "
+        "re-planned narrow during the degraded epoch (GROW policy only)",
+        replace(
+            reconfig_base,
+            faults=reconfig_model.with_fault_rate(2e-3),
+            resize_policy=ResizePolicy.GROW,
+        ),
+        "tunable",
+        extra_expect=("resilience",),
+    )
+    mint_sweep(
+        "sweep-reconfig-shrink-to-admit.json",
+        "shrink-to-admit: a rejected arrival is rescued by narrowing a "
+        "running donor job's in-flight task (SHRINK policy only)",
+        replace(
+            reconfig_base,
+            faults=reconfig_model.with_fault_rate(3e-4),
+            resize_policy=ResizePolicy.SHRINK,
+        ),
+        "tunable",
+        extra_expect=("resilience",),
     )
 
     # Hand-minted workloads ------------------------------------------------
