@@ -6,8 +6,9 @@ count.  This benchmark makes that axis explicit: it builds a congested
 profile with a controlled segment count — a backlog region of unit-width
 segments whose availability cycles through small values, followed by a
 fully-free frontier — and times complete admission decisions
-(:meth:`GreedyScheduler.choose`) for every scan back-end at each
-fragmentation level.
+(:meth:`GreedyScheduler.choose`) for every scan back-end — including
+the ``"kernel"`` back-end of :mod:`repro.core.kernels`, compiled or
+pure-Python depending on ``REPRO_KERNEL`` — at each fragmentation level.
 
 The workload is the tree back-end's target regime: probes need far more
 processors than any backlog segment offers, so the scalar walk crosses the
@@ -189,7 +190,7 @@ def run_fragmentation_bench(
     n_probes: int,
     segment_counts: tuple[int, ...] = (100, 1_000, 10_000),
 ) -> dict:
-    """Latency-vs-fragmentation comparison across the three scan back-ends.
+    """Latency-vs-fragmentation comparison across the scan back-ends.
 
     Raises if any back-end or prune mode disagrees on any decision, or if
     the tree fails its 5x headline over the scalar walk at >= 10k segments.
@@ -199,7 +200,7 @@ def run_fragmentation_bench(
         jobs = fragmentation_jobs(n_probes, n_segments)
         backends: dict[str, dict] = {}
         checksums: dict[str, str] = {}
-        for backend in ("scalar", "vector", "tree"):
+        for backend in ("scalar", "vector", "tree", "kernel"):
             report, checksum = _timed_decisions(n_segments, jobs, backend, prune=True)
             backends[backend] = report
             checksums[backend] = checksum
@@ -208,7 +209,8 @@ def run_fragmentation_bench(
         )
         checksums["scalar_unpruned"] = full_checksum
         commit_checksums = {
-            b: _commit_pass(n_segments, jobs, b) for b in ("scalar", "vector", "tree")
+            b: _commit_pass(n_segments, jobs, b)
+            for b in ("scalar", "vector", "tree", "kernel")
         }
         if len(set(checksums.values())) != 1:
             raise AssertionError(

@@ -26,6 +26,12 @@ Two sections:
   against the baseline simulator (the subsystem's no-overhead-when-idle
   guard), then a perturbed run (capacity faults x overruns x bursts)
   timed under full per-event verification.
+* ``decision_throughput`` — complete admission decisions per second
+  (:mod:`bench_decision_throughput`): one identical committed job stream
+  run serial vs batched on the pure-Python vs compiled decision kernels
+  (:mod:`repro.core.kernels`), decisions and final profile checksummed
+  across all modes; at full scale the batched-compiled mode must clear
+  the 100k decisions/sec floor on the low-fragmentation point.
 * ``reconfig`` — mid-execution malleability
   (:mod:`repro.resilience.reconfig`): an armed grow/shrink engine with a
   prohibitive reconfiguration cost on a zero-event trace must reproduce
@@ -64,6 +70,9 @@ from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
     LegacyAvailabilityProfile,
     run_area_query_bench,
     run_reserve_fit_bench,
+)
+from bench_decision_throughput import (  # noqa: E402
+    run_decision_throughput_bench,
 )
 from bench_fragmentation import run_fragmentation_bench  # noqa: E402
 from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
@@ -353,6 +362,9 @@ def generate(quick: bool = False) -> dict:
         resilience_n = 300
         reconfig_n = 300
         frag_decisions, frag_counts = 60, (100, 1_000)
+        throughput_jobs, throughput_counts, throughput_floor = (
+            2_000, (100,), False,
+        )
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
         sweep_n, sweep_values, sweep_workers = (
@@ -363,6 +375,9 @@ def generate(quick: bool = False) -> dict:
         resilience_n = 2_000
         reconfig_n = 2_000
         frag_decisions, frag_counts = 150, (100, 1_000, 10_000)
+        throughput_jobs, throughput_counts, throughput_floor = (
+            20_000, (100, 1_000), True,
+        )
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
@@ -380,6 +395,9 @@ def generate(quick: bool = False) -> dict:
             sweep_n, sweep_values, workers=sweep_workers
         ),
         "fragmentation": run_fragmentation_bench(frag_decisions, frag_counts),
+        "decision_throughput": run_decision_throughput_bench(
+            throughput_jobs, throughput_counts, enforce_floor=throughput_floor
+        ),
         "resilience": run_resilience_bench(resilience_n),
         "reconfig": run_reconfig_bench(reconfig_n),
     }
@@ -425,6 +443,25 @@ def main(argv: list[str] | None = None) -> int:
             f"scalar p50={point['backends']['scalar']['p50_us']}us "
             f"tree p50={point['backends']['tree']['p50_us']}us "
             f"({point['speedup_tree_vs_scalar_p50']}x), decisions identical"
+        )
+    throughput = report["decision_throughput"]
+    for point in throughput["points"]:
+        modes = point["modes"]
+        headline = (
+            modes["batched-compiled"]["decisions_per_sec"]
+            if "batched-compiled" in modes
+            else modes["batched-python"]["decisions_per_sec"]
+        )
+        tag = (
+            "batched-compiled"
+            if "batched-compiled" in modes
+            else "batched-python [no compiler]"
+        )
+        speed_key = next(k for k in point if k.startswith("speedup_"))
+        print(
+            f"  decision throughput @ {point['segments']} segments: "
+            f"serial-python={modes['serial-python']['decisions_per_sec']}/s "
+            f"{tag}={headline}/s ({point[speed_key]}x), decisions identical"
         )
     resilience = report["resilience"]
     print(

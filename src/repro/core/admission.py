@@ -15,6 +15,7 @@ Section 5 experiments).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Container
 
 from repro.core.greedy import GreedyScheduler
 from repro.core.placement import ChainPlacement
@@ -71,11 +72,15 @@ class AdmissionController:
         """Total number of jobs offered so far."""
         return self.admitted + self.rejected
 
-    def offer(self, job: Job) -> AdmissionDecision:
-        """Run admission control and (on success) commit the chosen chain."""
+    def offer(self, job: Job, skip: "Container[int]" = ()) -> AdmissionDecision:
+        """Run admission control and (on success) commit the chosen chain.
+
+        ``skip`` forwards pre-certified-unschedulable chain indices to the
+        scheduler (batched admission pre-screen); decisions are unchanged.
+        """
         if self.compact:
             self.scheduler.schedule.compact(job.release)
-        placement = self.scheduler.schedule_job(job)
+        placement = self.scheduler.schedule_job(job, skip)
         if placement is None:
             self.rejected += 1
             return AdmissionDecision(

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 import random
 from enum import Enum
+from typing import Sequence
 
+from repro.core import kernels
 from repro.core.admission import AdmissionController, AdmissionDecision
+from repro.core.kernels import batch as kernel_batch
 from repro.core.greedy import GreedyScheduler
 from repro.core.malleable import MalleableScheduler, MalleableStrategy
 from repro.core.placement import ChainPlacement
@@ -164,7 +167,7 @@ class QoSArbitrator:
 
     # ------------------------------------------------------------------
 
-    def perf_snapshot(self) -> dict[str, float | int]:
+    def perf_snapshot(self) -> dict[str, float | int | str]:
         """Hot-path instrumentation summary (see :mod:`repro.perf`).
 
         Includes per-submit wall-clock decision latency (``decision_*``),
@@ -172,6 +175,11 @@ class QoSArbitrator:
         commits, rollbacks) and profile operation stats (``profile_*``).
         The candidate-search counters are always present (0 when the event
         never fired) so dashboards and tests can read them unconditionally.
+        Kernel-layer selection telemetry rides along: ``kernel_backend``
+        (``"compiled"`` or ``"python"`` — which decision-kernel
+        implementation serves ``REPRO_KERNEL``-routed paths) and
+        ``kernel_fallbacks`` (process-wide count of compiled→python
+        fallback events).
         """
         out = self.schedule.perf_snapshot()
         for name in (
@@ -180,8 +188,13 @@ class QoSArbitrator:
             "chains_area_rejected",
             "chains_pruned_dominated",
             "chains_pruned_quality",
+            "chains_prescreen_skipped",
+            "batch_jobs",
+            "batch_fallbacks",
         ):
             out.setdefault(name, 0)
+        out["kernel_backend"] = kernels.kernel_backend()
+        out["kernel_fallbacks"] = kernels.stats.fallbacks
         return out
 
     # ------------------------------------------------------------------
@@ -219,6 +232,72 @@ class QoSArbitrator:
                 decision.placement.chain, self.quality_composition
             )
         return decision
+
+    def admit_batch(self, jobs: "Sequence[Job]") -> list[AdmissionDecision]:
+        """Admission-control a vector of jobs in arrival order.
+
+        **Equivalence contract**: the decisions, committed schedule,
+        admission counters and quality accumulators are bit-identical to
+        calling :meth:`submit` on each job in sequence — the batch API
+        changes *cost*, never *outcome* (asserted per-case by the
+        differential fuzzer and ``tests/core/test_admit_batch.py``).
+        Jobs must be in non-decreasing release order when compaction is
+        enabled, exactly as for serial submission.
+
+        Cost is amortized two ways:
+
+        * with the compiled kernel loaded and a supported configuration
+          (plain rigid scheduler, earliest-finish objective,
+          deterministic tie-break), the entire admission loop for the
+          batch — compaction, pruning, probing, tie-breaking, committing
+          — runs in **one C call** over flat arrays
+          (:func:`repro.core.kernels.batch.try_admit_batch_compiled`);
+        * otherwise one vectorized area pre-screen over the batch-entry
+          profile condemns hopeless configurations for the whole batch
+          at once, and the ordinary Python loop runs with those chains
+          skipped (``chains_prescreen_skipped``).
+
+        Latency lands in one ``decision_batch`` timer sample (not one
+        ``decision`` sample per job); ``batch_jobs`` counts jobs routed
+        through here and ``batch_fallbacks`` the batches the compiled
+        path declined.
+        """
+        if not jobs:
+            return []
+        perf = self.schedule.perf
+        perf.count("batch_jobs", len(jobs))
+        with perf.timed("decision_batch"):
+            earliest = self.objective is ArbitrationObjective.EARLIEST_FINISH
+            fast_eligible = (
+                earliest
+                and type(self.scheduler) is GreedyScheduler
+                and self.scheduler.policy is not TieBreakPolicy.RANDOM
+            )
+            if fast_eligible:
+                decisions = kernel_batch.try_admit_batch_compiled(self, jobs)
+                if decisions is not None:
+                    return decisions
+            perf.count("batch_fallbacks")
+            skips = (
+                kernel_batch.prescreen_skips(self, jobs) if earliest else None
+            )
+            out: list[AdmissionDecision] = []
+            for k, job in enumerate(jobs):
+                self._quality_possible += job.best_quality(
+                    self.quality_composition
+                )
+                if earliest:
+                    decision = self.admission.offer(
+                        job, skips[k] if skips is not None else ()
+                    )
+                else:
+                    decision = self._offer_max_quality(job)
+                if decision.admitted and decision.placement is not None:
+                    self._quality_sum += chain_quality(
+                        decision.placement.chain, self.quality_composition
+                    )
+                out.append(decision)
+            return out
 
     def resubmit(self, job: Job) -> AdmissionDecision:
         """Re-offer a job already counted rejected by :meth:`submit`.

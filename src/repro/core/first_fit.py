@@ -49,6 +49,7 @@ from bisect import bisect_right
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.profile import (
     TREE_MIN_SEGMENTS,
     VECTOR_MIN_SEGMENTS,
@@ -104,7 +105,34 @@ def earliest_fit(
         return _tree_scan(profile, times, n, i, processors, duration, release, deadline)
     if backend == "vector":
         return _vector_scan(profile, times, n, i, processors, duration, release, deadline)
+    if backend == "kernel":
+        return _kernel_scan(profile, n, i, processors, duration, release, deadline)
     return _scalar_scan(profile, times, n, i, processors, duration, release, deadline)
+
+
+def _kernel_scan(
+    profile: AvailabilityProfile,
+    n: int,
+    i: int,
+    processors: int,
+    duration: float,
+    release: float,
+    deadline: float,
+) -> float | None:
+    """Flat-array search via the decision-kernel layer.
+
+    Dispatches to the compiled C port of the scalar walk when available
+    (``REPRO_KERNEL``), or to its bit-identical numpy fallback; see
+    :mod:`repro.core.kernels`.  Decisions always match the other scan
+    back-ends; the ``probe_segments`` accounting follows whichever
+    implementation serves the call.
+    """
+    times_m, avail_m = profile._mirrors()  # noqa: SLF001
+    start, scanned = kernels.active().earliest_fit_arrays(
+        times_m, avail_m, n, i, processors, duration, release, deadline
+    )
+    profile.stats.probe_segments += scanned
+    return start
 
 
 def _scalar_scan(

@@ -1,0 +1,168 @@
+"""Compiled decision-kernel layer with a bit-identical Python fallback.
+
+This package provides the flat-array kernels behind the ``"kernel"``
+profile scan back-end and the batched admission fast path
+(:meth:`repro.core.arbitrator.QoSArbitrator.admit_batch`):
+
+* ``_kernels.c`` — hand-written C, built on demand by :mod:`.build` and
+  bound via ctypes in :mod:`.compiled` (no Cython, no ``Python.h``);
+* :mod:`.pykernels` — the pure-Python/NumPy implementation of the same
+  interface, returning bit-identical *decisions* (probe instrumentation
+  counts may differ; see the pykernels docs);
+* :mod:`.batch` — flattening and write-back for the one-call batched
+  admission loop, plus the vectorized pre-screen used when only the
+  Python kernels are available.
+
+Selection is controlled by the ``REPRO_KERNEL`` environment variable,
+read lazily on first use:
+
+* ``auto`` (default) — compiled when a C compiler (or a cached build) is
+  available, Python otherwise;
+* ``compiled`` — require the compiled kernel; raise
+  :class:`~repro.errors.ConfigurationError` if it cannot be built;
+* ``python`` — force the fallback (the differential-fuzz oracle mode).
+
+:func:`kernel_backend` and :data:`stats` surface what actually loaded —
+``perf_snapshot()`` reports them as ``kernel_backend`` and
+``kernel_fallbacks`` so cross-machine benchmark comparisons can verify
+which path ran.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_MODES",
+    "active",
+    "free_area_prefix",
+    "kernel_backend",
+    "note_fallback",
+    "requested_mode",
+    "set_kernel",
+    "stats",
+    "use",
+]
+
+#: Valid values of the ``REPRO_KERNEL`` environment variable.
+KERNEL_MODES = ("auto", "compiled", "python")
+
+
+class KernelStats:
+    """Process-wide kernel-selection telemetry (see ``perf_snapshot``)."""
+
+    __slots__ = ("fallbacks", "last_reason")
+
+    def __init__(self) -> None:
+        self.fallbacks = 0
+        self.last_reason = ""
+
+
+#: Global fallback counter: bumped when a compiled path was requested or
+#: expected but the Python implementation had to serve instead.
+stats = KernelStats()
+
+_active = None
+_mode: str | None = None
+
+
+def requested_mode() -> str:
+    """The ``REPRO_KERNEL`` setting (validated; default ``auto``)."""
+    mode = os.environ.get("REPRO_KERNEL", "auto")
+    if mode not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"REPRO_KERNEL must be one of {KERNEL_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def note_fallback(reason: str) -> None:
+    """Record one compiled→python fallback event (kept in :data:`stats`)."""
+    stats.fallbacks += 1
+    stats.last_reason = reason
+
+
+def _load(mode: str):
+    from repro.core.kernels import pykernels
+
+    if mode == "python":
+        return pykernels
+    try:
+        from repro.core.kernels import compiled
+
+        return compiled.load()
+    except ConfigurationError as exc:
+        if mode == "compiled":
+            raise ConfigurationError(
+                f"REPRO_KERNEL=compiled but the compiled kernel is "
+                f"unavailable: {exc}"
+            ) from exc
+        note_fallback(str(exc))
+        return pykernels
+
+
+def active():
+    """The selected kernel implementation (loaded lazily, then cached)."""
+    global _active, _mode
+    if _active is None:
+        _mode = requested_mode()
+        _active = _load(_mode)
+    return _active
+
+
+def kernel_backend() -> str:
+    """``"compiled"`` or ``"python"`` — what :func:`active` resolves to."""
+    return "compiled" if active().compiled else "python"
+
+
+def set_kernel(mode: str) -> str:
+    """Force a kernel implementation at runtime; returns the prior mode.
+
+    Benchmarks and tests use this to pin a side of the differential
+    matrix regardless of the environment variable.
+    """
+    global _active, _mode
+    if mode not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"kernel mode must be one of {KERNEL_MODES}, got {mode!r}"
+        )
+    previous = _mode if _mode is not None else requested_mode()
+    _mode = mode
+    _active = _load(mode)
+    return previous
+
+
+@contextmanager
+def use(mode: str) -> Iterator[None]:
+    """Context manager pinning the kernel implementation temporarily."""
+    previous = set_kernel(mode)
+    try:
+        yield
+    finally:
+        set_kernel(previous)
+
+
+def free_area_prefix(times: np.ndarray, avail: np.ndarray) -> np.ndarray:
+    """Free-area prefix sums over the mirrors, bit-identical to the loop.
+
+    ``out[k]`` integrates free processors from the origin to
+    ``times[k]``.  The per-segment areas are the same multiplications
+    the scalar :meth:`~repro.core.profile.AvailabilityProfile._ensure_prefix`
+    performs, and ``np.cumsum`` over a 1-D float64 array accumulates them
+    sequentially in the same order, so every element matches the list
+    prefix bit-for-bit (asserted by ``tests/core/test_kernels.py``).
+    """
+    n = times.shape[0]
+    seq = np.empty(n, dtype=np.float64)
+    seq[0] = 0.0
+    if n > 1:
+        np.multiply(
+            avail[:-1].astype(np.float64), np.diff(times), out=seq[1:]
+        )
+    return np.cumsum(seq, out=seq)

@@ -1,0 +1,743 @@
+/* Compiled flat-array kernels for the admission hot path.
+ *
+ * Hand-written C, built on demand by ``repro.core.kernels.build`` with
+ * ``cc -O2 -fPIC -shared -fno-fast-math -ffp-contract=off`` and bound via
+ * ctypes (no Python.h, no Cython — the container toolchain has a C
+ * compiler but no extension-build stack, and the ABI below needs nothing
+ * beyond raw pointers).
+ *
+ * Every function is a line-for-line port of a pure-Python reference in
+ * ``repro.core`` (profile._shift / compact / _ensure_prefix / free_area,
+ * first_fit._scalar_scan, greedy._prober / place_chain,
+ * policies.select_candidate, chain.is_trivially_infeasible).  The float
+ * operations replicate the exact IEEE-754 op order of those references —
+ * max/min keep Python's first-argument-on-ties convention, accumulations
+ * run in the same sequence — and the build flags forbid contraction, so
+ * results are bit-identical.  That is the contract the differential
+ * fuzzer (``repro.verify.fuzz``) enforces against the scalar/vector/tree
+ * oracles.
+ *
+ * Two entry points matter:
+ *
+ * - ``repro_earliest_fit``: one fit probe over the profile's NumPy
+ *   mirrors (the ``"kernel"`` scan back-end; correctness/differential
+ *   path — per-call ctypes overhead makes it no faster than Python for
+ *   single probes on small profiles).
+ * - ``repro_admit_batch``: the whole serial admission loop for a vector
+ *   of jobs in ONE call — compaction, pruning, probing, tie-breaks and
+ *   profile commits all run in C over flattened arrays.  This is the
+ *   100k+ decisions/sec path.
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define TIME_EPS 1e-9   /* repro.core.resources.TIME_EPS */
+#define AREA_EPS 1e-6   /* greedy._area_reject slack */
+#define QUICK_EPS 1e-9  /* chain.is_trivially_infeasible slack */
+#define UTIL_EPS 1e-12  /* policies.select_candidate utilization slack */
+
+#define ABI_VERSION 2
+
+/* Status codes returned by repro_admit_batch (0 = OK).  Any nonzero
+ * status means "this batch cannot be decided in C" — the Python driver
+ * discards the scratch buffers (the live profile was never touched) and
+ * falls back to the serial loop. */
+#define BATCH_OK 0
+#define BATCH_ERR_OVERFLOW (-1)  /* profile outgrew the preallocated buffer */
+#define BATCH_ERR_SHIFT (-2)     /* _shift precondition violated (scheduler bug) */
+#define BATCH_ERR_CAPACITY (-3)  /* commit exceeded capacity (scheduler bug) */
+#define BATCH_ERR_POLICY (-4)    /* unsupported tie-break policy code */
+
+/* Tie-break policy codes (subset of TieBreakPolicy: RANDOM is excluded
+ * from the fast path because it consumes a Python RNG stream). */
+#define POLICY_PAPER 0
+#define POLICY_FIRST 1
+#define POLICY_PREFIX 2
+
+/* Counter slots, accumulated into ProfileStats / PerfRecorder by the
+ * Python driver after a successful batch. */
+#define K_SHIFT_OPS 0
+#define K_SEGMENTS_TOUCHED 1
+#define K_LAST_TOUCHED 2
+#define K_PROBES 3
+#define K_PROBE_SEGMENTS 4
+#define K_PREFIX_REBUILDS 5
+#define K_COMPACTIONS 6
+#define K_CHAINS_PROBED 7
+#define K_QUICK_REJECTED 8
+#define K_AREA_REJECTED 9
+#define K_PRUNED_DOMINATED 10
+#define K_COMMITS 11
+#define N_COUNTERS 12
+
+/* Python max(a, b) returns the FIRST argument on ties (max(-0.0, 0.0)
+ * is -0.0); same for min.  These macros keep that convention so even
+ * signed zeros round-trip bit-identically. */
+#define PYMAX(a, b) ((a) >= (b) ? (a) : (b))
+#define PYMIN(a, b) ((a) <= (b) ? (a) : (b))
+
+/* ------------------------------------------------------------------ */
+/* bisect ports (exact semantics of the stdlib bisect module)          */
+/* ------------------------------------------------------------------ */
+
+static int64_t bisect_right_d(const double *a, int64_t n, double x)
+{
+    int64_t lo = 0, hi = n;
+    while (lo < hi) {
+        int64_t mid = (lo + hi) / 2;
+        if (x < a[mid])
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+/* ------------------------------------------------------------------ */
+/* The availability profile over caller-owned flat buffers             */
+/* ------------------------------------------------------------------ */
+
+/* Live segments occupy [lo, lo + n) of times/avail; compaction advances
+ * lo instead of memmoving, shifts splice in place within the window.
+ * prefix[0..n) is the free-area prefix cache over the live window,
+ * rebuilt sequentially when prefix_valid drops (exactly like
+ * AvailabilityProfile._ensure_prefix). */
+typedef struct {
+    double *times;
+    int64_t *avail;
+    double *prefix;
+    double *scr_t;  /* shift replacement-window scratch */
+    int64_t *scr_a;
+    int64_t cap_buf;  /* allocated length of times/avail */
+    int64_t lo;
+    int64_t n;
+    int64_t capacity; /* machine capacity (processors) */
+    int prefix_valid;
+    int64_t *c; /* counters[N_COUNTERS] */
+} Prof;
+
+/* port of AvailabilityProfile._shift (validation included) */
+static int prof_shift(Prof *p, double t0, double t1, int64_t delta)
+{
+    if (isnan(t0) || isnan(t1))
+        return BATCH_ERR_SHIFT;
+    if (t1 <= t0 + TIME_EPS)
+        return BATCH_ERR_SHIFT;
+    if (isinf(t1))
+        return BATCH_ERR_SHIFT;
+    double *times = p->times + p->lo;
+    int64_t *avail = p->avail + p->lo;
+    int64_t n = p->n;
+    /* _index_at(t0), then snap the left edge to a breakpoint. */
+    if (t0 < times[0] - TIME_EPS)
+        return BATCH_ERR_SHIFT;
+    int64_t i = bisect_right_d(times, n, t0) - 1;
+    if (i < 0)
+        i = 0;
+    if (fabs(times[i] - t0) <= TIME_EPS) {
+        t0 = times[i];
+    } else if (i + 1 < n && fabs(times[i + 1] - t0) <= TIME_EPS) {
+        i += 1;
+        t0 = times[i];
+    }
+    /* Right edge: `last` is the final shifted segment, `trailing` marks
+     * t1 strictly inside it. */
+    int64_t j = bisect_right_d(times, n, t1) - 1;
+    int trailing = 0;
+    int64_t last;
+    if (fabs(times[j] - t1) <= TIME_EPS) {
+        t1 = times[j];
+        last = j - 1;
+    } else if (j + 1 < n && fabs(times[j + 1] - t1) <= TIME_EPS) {
+        t1 = times[j + 1];
+        last = j;
+    } else {
+        last = j;
+        trailing = 1;
+    }
+    if (t1 <= t0)
+        return BATCH_OK; /* both edges snapped to the same breakpoint */
+    if (last < i)
+        return BATCH_ERR_SHIFT;
+    /* Validate the whole window before touching anything. */
+    if (delta < 0) {
+        int64_t tightest = avail[i];
+        for (int64_t k = i + 1; k <= last; k++)
+            if (avail[k] < tightest)
+                tightest = avail[k];
+        if (tightest < -delta)
+            return BATCH_ERR_CAPACITY;
+    } else {
+        int64_t widest = avail[i];
+        for (int64_t k = i + 1; k <= last; k++)
+            if (avail[k] > widest)
+                widest = avail[k];
+        if (widest + delta > p->capacity)
+            return BATCH_ERR_CAPACITY;
+    }
+    /* Build the replacement window, merging equal neighbours on the fly. */
+    double *nt = p->scr_t;
+    int64_t *na = p->scr_a;
+    int64_t w = 0;
+    int64_t prev;
+    if (t0 > times[i]) {
+        nt[w] = times[i];
+        na[w] = avail[i];
+        w += 1;
+        prev = avail[i];
+    } else {
+        prev = (i > 0) ? avail[i - 1] : -1;
+    }
+    double start = t0;
+    for (int64_t k = i; k <= last; k++) {
+        int64_t value = avail[k] + delta;
+        if (value != prev) {
+            nt[w] = (k == i) ? start : times[k];
+            na[w] = value;
+            w += 1;
+            prev = value;
+        }
+    }
+    if (trailing) {
+        nt[w] = t1;
+        na[w] = avail[last];
+        w += 1;
+    }
+    int64_t hi = last + 1;
+    if (!trailing && hi < n && avail[hi] == prev)
+        hi += 1; /* absorb the right border segment's breakpoint */
+    int64_t new_n = n - (hi - i) + w;
+    if (p->lo + new_n > p->cap_buf)
+        return BATCH_ERR_OVERFLOW;
+    if (w != hi - i) {
+        memmove(times + i + w, times + hi, (size_t)(n - hi) * sizeof(double));
+        memmove(avail + i + w, avail + hi, (size_t)(n - hi) * sizeof(int64_t));
+    }
+    memcpy(times + i, nt, (size_t)w * sizeof(double));
+    memcpy(avail + i, na, (size_t)w * sizeof(int64_t));
+    p->n = new_n;
+    p->prefix_valid = 0;
+    p->c[K_SHIFT_OPS] += 1;
+    int64_t touched = last - i + 1;
+    p->c[K_SEGMENTS_TOUCHED] += touched;
+    p->c[K_LAST_TOUCHED] = touched;
+    return BATCH_OK;
+}
+
+/* port of AvailabilityProfile.compact */
+static void prof_compact(Prof *p, double before)
+{
+    double *times = p->times + p->lo;
+    if (before <= times[0])
+        return;
+    int64_t i = bisect_right_d(times, p->n, before) - 1;
+    if (i < 0)
+        i = 0;
+    if (i == 0)
+        return;
+    p->lo += i;
+    p->n -= i;
+    times = p->times + p->lo;
+    if (times[0] < before)
+        times[0] = before;
+    p->prefix_valid = 0;
+    p->c[K_COMPACTIONS] += 1;
+}
+
+/* port of AvailabilityProfile._ensure_prefix (same sequential sum) */
+static void prof_ensure_prefix(Prof *p)
+{
+    if (p->prefix_valid)
+        return;
+    const double *times = p->times + p->lo;
+    const int64_t *avail = p->avail + p->lo;
+    double *prefix = p->prefix;
+    prefix[0] = 0.0;
+    double acc = 0.0;
+    for (int64_t k = 1; k < p->n; k++) {
+        acc += (double)avail[k - 1] * (times[k] - times[k - 1]);
+        prefix[k] = acc;
+    }
+    p->prefix_valid = 1;
+    p->c[K_PREFIX_REBUILDS] += 1;
+}
+
+/* port of AvailabilityProfile._cumulative_free */
+static double prof_cumulative_free(const Prof *p, double t)
+{
+    const double *times = p->times + p->lo;
+    int64_t i = bisect_right_d(times, p->n, t) - 1;
+    if (i < 0)
+        return 0.0;
+    return p->prefix[i] + (double)(p->avail + p->lo)[i] * (t - times[i]);
+}
+
+/* port of AvailabilityProfile.free_area (guards hoisted to callers) */
+static double prof_free_area(Prof *p, double t0, double t1)
+{
+    if (t1 <= t0)
+        return 0.0;
+    prof_ensure_prefix(p);
+    return prof_cumulative_free(p, t1) - prof_cumulative_free(p, t0);
+}
+
+/* ------------------------------------------------------------------ */
+/* The earliest-fit scan (port of first_fit._scalar_scan)              */
+/* ------------------------------------------------------------------ */
+
+/* Raw walk over [0, n) starting at segment i; release already clamped
+ * to the origin and i already bisected by the caller.  Returns 1 and
+ * *out_start on success, 0 on failure; *out_scanned counts the
+ * segments examined exactly like _scalar_scan's probe_segments. */
+static int scan_walk(const double *times, const int64_t *avail, int64_t n,
+                     int64_t i, int64_t processors, double duration,
+                     double release, double deadline, double *out_start,
+                     int64_t *out_scanned)
+{
+    int64_t first = i;
+    int have = avail[i] >= processors;
+    double run_start = release;
+    *out_scanned = 0;
+    for (;;) {
+        if (have) {
+            /* Extend the run from segment i forward. */
+            int64_t j = i;
+            for (;;) {
+                double seg_end = (j + 1 < n) ? times[j + 1] : INFINITY;
+                if (seg_end - run_start >= duration - TIME_EPS) {
+                    *out_scanned = j - first + 1;
+                    if (run_start + duration > deadline + TIME_EPS)
+                        return 0;
+                    *out_start = run_start;
+                    return 1;
+                }
+                j += 1;
+                if (avail[j] < processors) {
+                    i = j;
+                    have = 0;
+                    break;
+                }
+            }
+        }
+        if (!have) {
+            /* Advance to the next sufficient segment. */
+            int64_t j = i + 1;
+            while (j < n && avail[j] < processors)
+                j += 1;
+            if (j == n) {
+                *out_scanned = n - first;
+                return 0; /* trailing segment deficient: never fits */
+            }
+            i = j;
+            run_start = PYMAX(times[i], release);
+            if (run_start + duration > deadline + TIME_EPS) {
+                *out_scanned = i - first + 1;
+                return 0;
+            }
+            have = 1;
+        }
+    }
+}
+
+/* Full earliest_fit port (pre-checks + clamp + bisect + walk), used by
+ * the batched admission loop. */
+static int ef_probe(Prof *p, int64_t processors, double duration,
+                    double release, double deadline, double *out_start)
+{
+    p->c[K_PROBES] += 1;
+    if (processors > p->capacity)
+        return 0;
+    if (release + duration > deadline + TIME_EPS)
+        return 0;
+    const double *times = p->times + p->lo;
+    const int64_t *avail = p->avail + p->lo;
+    int64_t n = p->n;
+    release = PYMAX(release, times[0]);
+    int64_t i = bisect_right_d(times, n, release) - 1;
+    if (i < 0)
+        i = 0;
+    int64_t scanned = 0;
+    int found = scan_walk(times, avail, n, i, processors, duration, release,
+                          deadline, out_start, &scanned);
+    p->c[K_PROBE_SEGMENTS] += scanned;
+    return found;
+}
+
+/* ------------------------------------------------------------------ */
+/* Chain-level helpers (ports from greedy.py / chain.py / policies.py) */
+/* ------------------------------------------------------------------ */
+
+/* greedy._shape_key equality for chains a and b (flattened layout) */
+static int shape_equal(int64_t a, int64_t b, const int64_t *off,
+                       const int64_t *procs, const double *dur,
+                       const double *dl, const double *q)
+{
+    int64_t a0 = off[a], b0 = off[b];
+    int64_t n = off[a + 1] - a0;
+    if (off[b + 1] - b0 != n)
+        return 0;
+    for (int64_t k = 0; k < n; k++) {
+        if (procs[a0 + k] != procs[b0 + k])
+            return 0;
+        if (dur[a0 + k] != dur[b0 + k])
+            return 0;
+        if (dl[a0 + k] != dl[b0 + k])
+            return 0;
+        if (q[a0 + k] != q[b0 + k])
+            return 0;
+    }
+    return 1;
+}
+
+/* greedy._harder_than_failed for one (chain, failed-chain) pair */
+static int harder_than(int64_t c, int64_t o, const int64_t *off,
+                       const int64_t *procs, const double *dur,
+                       const double *dl)
+{
+    int64_t c0 = off[c], o0 = off[o];
+    int64_t n = off[c + 1] - c0;
+    if (off[o + 1] - o0 != n)
+        return 0;
+    for (int64_t k = 0; k < n; k++) {
+        if (!(procs[c0 + k] >= procs[o0 + k]))
+            return 0;
+        if (!(dur[c0 + k] >= dur[o0 + k]))
+            return 0;
+        if (!(dl[c0 + k] <= dl[o0 + k]))
+            return 0;
+    }
+    return 1;
+}
+
+/* chain.is_trivially_infeasible (eff is caller scratch of >= n tasks) */
+static int quick_reject(int64_t c, const int64_t *off, const int64_t *procs,
+                        const double *dur, const double *dl, int64_t capacity,
+                        double *eff)
+{
+    int64_t t0 = off[c];
+    int64_t n = off[c + 1] - t0;
+    int64_t maxw = procs[t0];
+    for (int64_t k = 1; k < n; k++)
+        if (procs[t0 + k] > maxw)
+            maxw = procs[t0 + k];
+    if (maxw > capacity)
+        return 1;
+    for (int64_t k = 0; k < n; k++)
+        eff[k] = dl[t0 + k];
+    for (int64_t k = n - 2; k >= 0; k--)
+        eff[k] = PYMIN(eff[k], eff[k + 1] - dur[t0 + k + 1]);
+    double elapsed = 0.0;
+    for (int64_t k = 0; k < n; k++) {
+        elapsed += dur[t0 + k];
+        if (elapsed > eff[k] + QUICK_EPS)
+            return 1;
+    }
+    return 0;
+}
+
+/* chain.total_area: sum(t.area) == 0.0 + p0*d0 + p1*d1 + ... --
+ * sequential, same floats as the Python property (0.0 + a == a exactly
+ * for the positive areas the model validates). */
+static double chain_area(int64_t c, const int64_t *off, const int64_t *procs,
+                         const double *dur)
+{
+    int64_t t0 = off[c];
+    int64_t n = off[c + 1] - t0;
+    double acc = 0.0;
+    for (int64_t k = 0; k < n; k++)
+        acc += (double)procs[t0 + k] * dur[t0 + k];
+    return acc;
+}
+
+/* greedy._area_reject */
+static int area_reject(Prof *p, double release, double final_deadline,
+                       double total_area)
+{
+    double origin = (p->times + p->lo)[0];
+    double t0 = PYMAX(release, origin);
+    double t1 = release + final_deadline;
+    if (isinf(t1))
+        return 0;
+    if (t1 <= t0)
+        return 1;
+    return prof_free_area(p, t0, t1) < total_area - AREA_EPS;
+}
+
+/* policies.window_utilization (cp.total_area == chain.total_area for
+ * rigid placements: both are the same left-to-right float sum) */
+static double window_util(Prof *p, double release, double finish,
+                          double total_area)
+{
+    double origin = (p->times + p->lo)[0];
+    double start = PYMAX(release, origin);
+    double span = finish - start;
+    if (span <= 0)
+        return 1.0;
+    double busy = (double)p->capacity * (finish - start) -
+                  prof_free_area(p, start, finish);
+    busy = busy + total_area;
+    return busy / ((double)p->capacity * span);
+}
+
+/* policies._prefix_key three-way comparison: Python tuple lexicographic
+ * order over chain.prefix_areas() (shorter prefix of an equal run sorts
+ * first). */
+static int prefix_cmp(int64_t a, int64_t b, const int64_t *off,
+                      const int64_t *procs, const double *dur)
+{
+    int64_t a0 = off[a], na = off[a + 1] - a0;
+    int64_t b0 = off[b], nb = off[b + 1] - b0;
+    int64_t m = (na < nb) ? na : nb;
+    double acc_a = 0.0, acc_b = 0.0;
+    for (int64_t k = 0; k < m; k++) {
+        acc_a += (double)procs[a0 + k] * dur[a0 + k];
+        acc_b += (double)procs[b0 + k] * dur[b0 + k];
+        if (acc_a < acc_b)
+            return -1;
+        if (acc_a > acc_b)
+            return 1;
+    }
+    if (na < nb)
+        return -1;
+    if (na > nb)
+        return 1;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Exported API                                                        */
+/* ------------------------------------------------------------------ */
+
+int64_t repro_abi_version(void)
+{
+    return ABI_VERSION;
+}
+
+/* Single fit probe over the profile mirrors: the "kernel" scan back-end.
+ * Pre-checks, clamping and the start-segment bisect already happened in
+ * Python (earliest_fit's dispatcher).  Returns 1/0 (found), writes the
+ * start and the scanned-segment count. */
+int64_t repro_earliest_fit(const double *times, const int64_t *avail,
+                           int64_t n, int64_t i, int64_t processors,
+                           double duration, double release, double deadline,
+                           double *out_start, int64_t *out_scanned)
+{
+    return scan_walk(times, avail, n, i, processors, duration, release,
+                     deadline, out_start, out_scanned);
+}
+
+/* min over avail[lo:hi] — the min_available window reduction. */
+int64_t repro_range_min(const int64_t *avail, int64_t lo, int64_t hi)
+{
+    int64_t m = avail[lo];
+    for (int64_t k = lo + 1; k < hi; k++)
+        if (avail[k] < m)
+            m = avail[k];
+    return m;
+}
+
+/* The whole serial admission loop for a job vector, in one call.
+ *
+ * Layout: jobs own chains [job_chain_off[j], job_chain_off[j+1]); chain
+ * c owns tasks [chain_task_off[c], chain_task_off[c+1]).  Profile state
+ * lives in times_buf/avail_buf at window [prof_state[0],
+ * prof_state[0] + prof_state[1]); on BATCH_OK the final window is
+ * written back to prof_state and out_chain[j] holds the chosen global
+ * chain index (-1 = rejected) with the chosen chains' task starts in
+ * out_starts (flattened task indexing).  Any error status leaves the
+ * caller's live profile untouched (the buffers are scratch copies).
+ *
+ * dscratch: max_chains*max_tasks + 3*max_chains + max_tasks doubles;
+ * iscratch: 4*max_chains int64s.  Replays greedy._prober exactly:
+ * duplicate collapse, failure propagation, incumbent finish capping,
+ * then select_candidate's earliest-finish + policy tie-break. */
+int64_t repro_admit_batch(
+    double *times_buf, int64_t *avail_buf, double *prefix_buf,
+    double *scratch_times, int64_t *scratch_avail, int64_t buf_cap,
+    int64_t *prof_state, int64_t capacity, int64_t n_jobs,
+    const double *releases, const int64_t *job_chain_off,
+    const int64_t *chain_task_off, const int64_t *task_procs,
+    const double *task_dur, const double *task_deadline,
+    const double *task_quality, int64_t policy, int64_t use_dup,
+    int64_t use_dom, int64_t use_cap, int64_t do_compact,
+    int64_t max_chains, int64_t max_tasks, double *dscratch,
+    int64_t *iscratch, int64_t *out_chain, double *out_starts,
+    int64_t *counters)
+{
+    if (policy != POLICY_PAPER && policy != POLICY_FIRST &&
+        policy != POLICY_PREFIX)
+        return BATCH_ERR_POLICY;
+    Prof prof;
+    prof.times = times_buf;
+    prof.avail = avail_buf;
+    prof.prefix = prefix_buf;
+    prof.scr_t = scratch_times;
+    prof.scr_a = scratch_avail;
+    prof.cap_buf = buf_cap;
+    prof.lo = prof_state[0];
+    prof.n = prof_state[1];
+    prof.capacity = capacity;
+    prof.prefix_valid = 0;
+    prof.c = counters;
+    Prof *p = &prof;
+
+    double *cand_starts = dscratch;                      /* [MC][MT] */
+    double *cand_finish = cand_starts + max_chains * max_tasks;
+    double *cand_util = cand_finish + max_chains;
+    double *cand_area = cand_util + max_chains;
+    double *eff = cand_area + max_chains;                /* [MT] */
+    int64_t *cand_chain = iscratch;
+    int64_t *keyed = cand_chain + max_chains;
+    int64_t *failed = keyed + max_chains;
+    int64_t *tied = failed + max_chains;
+
+    for (int64_t jb = 0; jb < n_jobs; jb++) {
+        double release = releases[jb];
+        if (do_compact)
+            prof_compact(p, release);
+        int64_t c_begin = job_chain_off[jb], c_end = job_chain_off[jb + 1];
+        int64_t ncand = 0, nkeyed = 0, nfailed = 0;
+        double cap = INFINITY;
+        for (int64_t c = c_begin; c < c_end; c++) {
+            int64_t t_begin = chain_task_off[c];
+            int64_t ntasks = chain_task_off[c + 1] - t_begin;
+            if (use_dup) {
+                int dup = 0;
+                for (int64_t k = 0; k < nkeyed; k++) {
+                    if (shape_equal(keyed[k], c, chain_task_off, task_procs,
+                                    task_dur, task_deadline, task_quality)) {
+                        dup = 1;
+                        break;
+                    }
+                }
+                if (dup) {
+                    counters[K_PRUNED_DOMINATED] += 1;
+                    continue;
+                }
+                keyed[nkeyed++] = c;
+            }
+            if (use_dom && nfailed) {
+                int harder = 0;
+                for (int64_t k = 0; k < nfailed; k++) {
+                    if (harder_than(c, failed[k], chain_task_off, task_procs,
+                                    task_dur, task_deadline)) {
+                        harder = 1;
+                        break;
+                    }
+                }
+                if (harder) {
+                    counters[K_PRUNED_DOMINATED] += 1;
+                    continue;
+                }
+            }
+            counters[K_CHAINS_PROBED] += 1;
+            if (quick_reject(c, chain_task_off, task_procs, task_dur,
+                             task_deadline, capacity, eff)) {
+                counters[K_QUICK_REJECTED] += 1;
+                continue;
+            }
+            double ca = chain_area(c, chain_task_off, task_procs, task_dur);
+            if (area_reject(p, release, task_deadline[t_begin + ntasks - 1],
+                            ca)) {
+                counters[K_AREA_REJECTED] += 1;
+                if (use_dom)
+                    failed[nfailed++] = c;
+                continue;
+            }
+            /* place_chain: first fit per task under the capped deadline */
+            double earliest = PYMAX(release, (p->times + p->lo)[0]);
+            double *starts = cand_starts + ncand * max_tasks;
+            int ok = 1;
+            for (int64_t t = 0; t < ntasks; t++) {
+                double dl = release + task_deadline[t_begin + t];
+                if (cap < dl)
+                    dl = cap;
+                double s;
+                if (!ef_probe(p, task_procs[t_begin + t],
+                              task_dur[t_begin + t], earliest, dl, &s)) {
+                    ok = 0;
+                    break;
+                }
+                starts[t] = s;
+                earliest = s + task_dur[t_begin + t];
+            }
+            if (!ok) {
+                if (use_dom)
+                    failed[nfailed++] = c;
+                continue;
+            }
+            cand_chain[ncand] = c;
+            cand_finish[ncand] = earliest; /* last start + duration */
+            cand_area[ncand] = ca;
+            ncand += 1;
+            if (use_cap) {
+                double new_cap = earliest + TIME_EPS;
+                if (new_cap < cap)
+                    cap = new_cap;
+            }
+        }
+        if (ncand == 0) {
+            out_chain[jb] = -1;
+            continue;
+        }
+        /* select_candidate: earliest finish, then the policy tie-break */
+        double best_finish = cand_finish[0];
+        for (int64_t k = 1; k < ncand; k++)
+            if (cand_finish[k] < best_finish)
+                best_finish = cand_finish[k];
+        int64_t ntied = 0;
+        for (int64_t k = 0; k < ncand; k++)
+            if (cand_finish[k] <= best_finish + TIME_EPS)
+                tied[ntied++] = k;
+        int64_t chosen;
+        if (ntied == 1 || policy == POLICY_FIRST) {
+            chosen = tied[0];
+        } else if (policy == POLICY_PREFIX) {
+            chosen = tied[0];
+            for (int64_t k = 1; k < ntied; k++)
+                if (prefix_cmp(cand_chain[tied[k]], cand_chain[chosen],
+                               chain_task_off, task_procs, task_dur) < 0)
+                    chosen = tied[k];
+        } else {
+            /* PAPER: max window utilization, then min prefix key */
+            double best_util = -INFINITY;
+            for (int64_t k = 0; k < ntied; k++) {
+                int64_t ci = tied[k];
+                double u = window_util(p, release, cand_finish[ci],
+                                       cand_area[ci]);
+                cand_util[k] = u;
+                if (u > best_util)
+                    best_util = u;
+            }
+            chosen = -1;
+            for (int64_t k = 0; k < ntied; k++) {
+                if (cand_util[k] >= best_util - UTIL_EPS) {
+                    if (chosen < 0 ||
+                        prefix_cmp(cand_chain[tied[k]], cand_chain[chosen],
+                                   chain_task_off, task_procs, task_dur) < 0)
+                        chosen = tied[k];
+                }
+            }
+        }
+        /* commit: reserve every task interval in chain order */
+        int64_t cc = cand_chain[chosen];
+        int64_t ct0 = chain_task_off[cc];
+        int64_t cn = chain_task_off[cc + 1] - ct0;
+        const double *starts = cand_starts + chosen * max_tasks;
+        for (int64_t t = 0; t < cn; t++) {
+            double s = starts[t];
+            int st = prof_shift(p, s, s + task_dur[ct0 + t],
+                                -task_procs[ct0 + t]);
+            if (st != BATCH_OK)
+                return st;
+            out_starts[ct0 + t] = s;
+        }
+        counters[K_COMMITS] += 1;
+        out_chain[jb] = cc;
+    }
+    prof_state[0] = p->lo;
+    prof_state[1] = p->n;
+    return BATCH_OK;
+}

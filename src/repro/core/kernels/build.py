@@ -1,0 +1,105 @@
+"""On-demand build of the compiled decision kernel.
+
+The kernel is a single hand-written C file (``_kernels.c``) compiled into
+a shared object and bound through :mod:`ctypes` — deliberately *not* a
+CPython extension: there is no ``Python.h`` dependency, no Cython, no
+build isolation, just ``cc -O2 -fPIC -shared`` plus the two flags that
+make bit-identity possible (``-fno-fast-math -ffp-contract=off``; fused
+multiply-adds or value-unsafe reassociation would break the equality
+contract with the pure-Python back-ends).
+
+The build is lazy, cached by mtime, and *optional*: when no C compiler
+is present :func:`ensure_built` raises :class:`ConfigurationError` and
+the kernel layer falls back to the pure-NumPy implementation (see
+:mod:`repro.core.kernels`).  ``python -m repro.core.kernels --build``
+runs the same build explicitly (the CI hook).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import shutil
+import subprocess
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ABI_VERSION", "ensure_built", "find_compiler", "lib_path"]
+
+#: Must match ``ABI_VERSION`` in ``_kernels.c``; bump both together when
+#: the exported signatures change so a stale cached ``.so`` is rebuilt
+#: instead of being called with the wrong argument layout.
+ABI_VERSION = 2
+
+SOURCE = Path(__file__).with_name("_kernels.c")
+
+CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+
+
+def find_compiler() -> str | None:
+    """Locate a C compiler (``$CC``, then cc/gcc/clang); None if absent."""
+    cc = os.environ.get("CC")
+    if cc and shutil.which(cc):
+        return cc
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def lib_path() -> Path:
+    """Where the built shared object lives (or should live).
+
+    ``$REPRO_KERNEL_LIB`` overrides everything; otherwise the object sits
+    next to the source, tagged by platform so heterogeneous checkouts on
+    shared filesystems do not collide.  Falls back to a per-user cache
+    directory when the package directory is not writable (installed
+    site-packages).
+    """
+    explicit = os.environ.get("REPRO_KERNEL_LIB")
+    if explicit:
+        return Path(explicit)
+    tag = f"{platform.system()}-{platform.machine()}".lower()
+    candidate = SOURCE.parent / f"_kernels-{tag}.so"
+    if os.access(SOURCE.parent, os.W_OK) or candidate.exists():
+        return candidate
+    cache = Path(
+        os.environ.get("XDG_CACHE_HOME", Path.home() / ".cache")
+    ) / "repro-kernels"
+    return cache / candidate.name
+
+
+def ensure_built(force: bool = False) -> Path:
+    """Return the path of an up-to-date shared object, building if stale.
+
+    Raises :class:`~repro.errors.ConfigurationError` when no compiler is
+    available or the compile fails; never leaves a partially written
+    object behind (the build lands in a temp name and is renamed into
+    place atomically).
+    """
+    path = lib_path()
+    if (
+        not force
+        and path.exists()
+        and path.stat().st_mtime >= SOURCE.stat().st_mtime
+    ):
+        return path
+    cc = find_compiler()
+    if cc is None:
+        raise ConfigurationError(
+            "no C compiler found (tried $CC, cc, gcc, clang); "
+            "set REPRO_KERNEL=python or install a compiler"
+        )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    cmd = [cc, *CFLAGS, "-o", str(tmp), str(SOURCE), "-lm"]
+    result = subprocess.run(cmd, capture_output=True, text=True)
+    if result.returncode != 0:
+        tmp.unlink(missing_ok=True)
+        raise ConfigurationError(
+            f"kernel build failed ({' '.join(cmd)}):\n{result.stderr}"
+        )
+    os.replace(tmp, path)
+    return path

@@ -1,0 +1,135 @@
+"""ctypes binding for the compiled decision kernel (``_kernels.c``).
+
+Loads the shared object built by :mod:`repro.core.kernels.build` and
+exposes the same interface as :mod:`repro.core.kernels.pykernels`, plus
+:meth:`CompiledKernels.admit_batch` — the one-call batched admission
+loop.  All array arguments are contiguous NumPy arrays passed by raw
+pointer; the C side never allocates, so ownership stays entirely with
+the caller.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernels.build import ABI_VERSION, ensure_built
+from repro.errors import ConfigurationError
+
+__all__ = ["CompiledKernels", "load"]
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+_c_int64_p = ctypes.POINTER(ctypes.c_int64)
+
+
+def _dp(arr: np.ndarray):
+    return arr.ctypes.data_as(_c_double_p)
+
+
+def _ip(arr: np.ndarray):
+    return arr.ctypes.data_as(_c_int64_p)
+
+
+class CompiledKernels:
+    """Thin, stateless wrapper around the loaded shared object."""
+
+    compiled = True
+    supports_batch = True
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        lib = ctypes.CDLL(str(path))
+        lib.repro_abi_version.restype = ctypes.c_int64
+        lib.repro_abi_version.argtypes = ()
+        lib.repro_earliest_fit.restype = ctypes.c_int64
+        lib.repro_earliest_fit.argtypes = (
+            _c_double_p, _c_int64_p, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64, ctypes.c_double, ctypes.c_double, ctypes.c_double,
+            _c_double_p, _c_int64_p,
+        )
+        lib.repro_range_min.restype = ctypes.c_int64
+        lib.repro_range_min.argtypes = (
+            _c_int64_p, ctypes.c_int64, ctypes.c_int64,
+        )
+        lib.repro_admit_batch.restype = ctypes.c_int64
+        lib.repro_admit_batch.argtypes = (
+            _c_double_p, _c_int64_p, _c_double_p, _c_double_p, _c_int64_p,
+            ctypes.c_int64,  # buf_cap
+            _c_int64_p,      # prof_state
+            ctypes.c_int64, ctypes.c_int64,  # capacity, n_jobs
+            _c_double_p, _c_int64_p, _c_int64_p,  # releases, job/chain offsets
+            _c_int64_p, _c_double_p, _c_double_p, _c_double_p,  # task arrays
+            ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,
+            ctypes.c_int64,  # policy, use_dup, use_dom, use_cap, do_compact
+            ctypes.c_int64, ctypes.c_int64,  # max_chains, max_tasks
+            _c_double_p, _c_int64_p,         # dscratch, iscratch
+            _c_int64_p, _c_double_p, _c_int64_p,  # out_chain, out_starts, counters
+        )
+        self._lib = lib
+        got = int(lib.repro_abi_version())
+        if got != ABI_VERSION:
+            raise ConfigurationError(
+                f"compiled kernel ABI {got} != expected {ABI_VERSION} "
+                f"({path}); rebuild with python -m repro.core.kernels --build --force"
+            )
+
+    # -- scan back-end protocol (mirrors pykernels) --------------------
+
+    def earliest_fit_arrays(
+        self,
+        times: np.ndarray,
+        avail: np.ndarray,
+        n: int,
+        i: int,
+        processors: int,
+        duration: float,
+        release: float,
+        deadline: float,
+    ) -> tuple[float | None, int]:
+        out_start = ctypes.c_double()
+        out_scanned = ctypes.c_int64()
+        found = self._lib.repro_earliest_fit(
+            _dp(times), _ip(avail), n, i, processors, duration, release,
+            deadline, ctypes.byref(out_start), ctypes.byref(out_scanned),
+        )
+        return (out_start.value if found else None), out_scanned.value
+
+    def range_min(self, avail: np.ndarray, lo: int, hi: int) -> int:
+        return int(self._lib.repro_range_min(_ip(avail), lo, hi))
+
+    # -- batched admission ---------------------------------------------
+
+    def admit_batch(self, **kw) -> int:
+        """Raw batched admission call; see ``_kernels.c`` for the layout.
+
+        Keyword names match the C parameter names one-to-one.  Returns
+        the C status code (0 = OK); the driver in
+        :mod:`repro.core.kernels.batch` owns buffer preparation and
+        result write-back.
+        """
+        return int(self._lib.repro_admit_batch(
+            _dp(kw["times_buf"]), _ip(kw["avail_buf"]), _dp(kw["prefix_buf"]),
+            _dp(kw["scratch_times"]), _ip(kw["scratch_avail"]),
+            kw["buf_cap"], _ip(kw["prof_state"]), kw["capacity"],
+            kw["n_jobs"], _dp(kw["releases"]), _ip(kw["job_chain_off"]),
+            _ip(kw["chain_task_off"]), _ip(kw["task_procs"]),
+            _dp(kw["task_dur"]), _dp(kw["task_deadline"]),
+            _dp(kw["task_quality"]), kw["policy"], kw["use_dup"],
+            kw["use_dom"], kw["use_cap"], kw["do_compact"],
+            kw["max_chains"], kw["max_tasks"], _dp(kw["dscratch"]),
+            _ip(kw["iscratch"]), _ip(kw["out_chain"]), _dp(kw["out_starts"]),
+            _ip(kw["counters"]),
+        ))
+
+
+_loaded: CompiledKernels | None = None
+
+
+def load() -> CompiledKernels:
+    """Build (if stale) and load the compiled kernel, cached per process."""
+    global _loaded
+    if _loaded is None:
+        _loaded = CompiledKernels(ensure_built())
+    return _loaded

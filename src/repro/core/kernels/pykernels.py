@@ -1,0 +1,89 @@
+"""Pure-Python/NumPy fallback implementation of the decision kernels.
+
+Selected when ``REPRO_KERNEL=python`` or when no C compiler is available
+(see :mod:`repro.core.kernels`).  Every function returns bit-identical
+results to its compiled counterpart in ``_kernels.c``:
+
+* :func:`earliest_fit_arrays` reuses the vectorized run search of
+  :func:`repro.core.first_fit._vector_scan` (whose float comparisons are
+  already proven identical to the scalar walk the C kernel ports);
+* :func:`range_min` / :func:`free_area_prefix` are single NumPy
+  reductions whose accumulation order matches the scalar loops (NumPy's
+  ``cumsum``/``min`` over a 1-D float64/int64 array accumulate
+  sequentially, the same order as the Python reference — asserted by
+  ``tests/core/test_kernels.py`` and the differential fuzzer).
+
+The *scanned-segment* counts attached to probe results are an
+instrumentation side-channel, not part of the decision contract: this
+implementation reports the vector scan's accounting (segments through
+the deciding run), the compiled one reports the scalar walk's — the
+decisions themselves are always bit-identical.
+
+There is no batched admission here (``supports_batch = False``): the
+batch API's generic path drives the ordinary Python admission loop with
+a vectorized pre-screen instead (:mod:`repro.core.kernels.batch`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.resources import TIME_EPS
+
+__all__ = ["compiled", "supports_batch", "earliest_fit_arrays", "range_min"]
+
+#: Discriminators read by the kernel selector / perf snapshot.
+compiled = False
+supports_batch = False
+
+
+def earliest_fit_arrays(
+    times: np.ndarray,
+    avail: np.ndarray,
+    n: int,
+    i: int,
+    processors: int,
+    duration: float,
+    release: float,
+    deadline: float,
+) -> tuple[float | None, int]:
+    """Earliest-fit run search over the mirror arrays.
+
+    Arguments mirror the scan back-end protocol of
+    :mod:`repro.core.first_fit`: pre-checks already passed, ``release``
+    already clamped to the origin, ``i`` the bisected start segment.
+    Returns ``(start | None, scanned_segments)``.
+    """
+    mask = avail[i:] >= processors
+    m8 = mask.view(np.int8)
+    d = np.diff(m8)
+    length = m8.shape[0]
+    starts = np.flatnonzero(d == 1) + 1
+    if mask[0]:
+        starts = np.concatenate(((0,), starts))
+    if starts.size == 0:
+        return None, int(length)
+    ends = np.flatnonzero(d == -1) + 1
+    if ends.size < starts.size:
+        ends = np.concatenate((ends, (length,)))
+    start_t = times[i + starts]
+    if starts[0] == 0:
+        start_t[0] = release
+    end_idx = i + ends
+    end_t = np.where(end_idx < n, times[np.minimum(end_idx, n - 1)], math.inf)
+    feasible = end_t - start_t >= duration - TIME_EPS
+    k = int(np.argmax(feasible))
+    if not feasible[k]:
+        return None, int(length)
+    scanned = int(ends[k])
+    start = float(start_t[k])
+    if start + duration > deadline + TIME_EPS:
+        return None, scanned
+    return start, scanned
+
+
+def range_min(avail: np.ndarray, lo: int, hi: int) -> int:
+    """Minimum of ``avail[lo:hi]`` (``hi > lo`` guaranteed by callers)."""
+    return int(avail[lo:hi].min())

@@ -82,6 +82,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from repro.errors import CapacityExceededError, ConfigurationError, SchedulingError
+from repro.core import kernels
 from repro.core.resources import TIME_EPS
 from repro.core.segtree import SegmentTreeIndex
 from repro.perf import ProfileStats
@@ -91,16 +92,24 @@ __all__ = [
     "PROFILE_BACKENDS",
     "TREE_MIN_SEGMENTS",
     "VECTOR_MIN_SEGMENTS",
+    "resolve_auto_backend",
 ]
 
 #: Valid values for the ``backend`` constructor argument.
-PROFILE_BACKENDS = ("auto", "scalar", "vector", "tree")
+PROFILE_BACKENDS = ("auto", "scalar", "vector", "tree", "kernel")
 
 #: Segment count below which the scalar walk beats the vectorized scan's
-#: fixed per-call numpy overhead (empirically the crossover sits around
-#: 50–80 segments).  Compacted figure-level profiles stay well under this;
-#: growth-mode benchmark profiles sit well over it.
-VECTOR_MIN_SEGMENTS = 64
+#: fixed per-call numpy overhead.  The committed fragmentation benchmark
+#: (``BENCH_sched.json``) puts the vector scan *behind* the scalar walk at
+#: both 100 segments (212µs vs 64µs p50) and 1000 segments (129µs vs
+#: 99µs) and only ahead at 10000 (145µs vs 641µs): the run-search
+#: allocates several temporaries per probe, so its fixed cost is far
+#: higher than a single comparison's.  The crossover therefore sits
+#: between 10^3 and 10^4 live segments; 2048 keeps ``"auto"`` on the
+#: cheap walk through the entire committed range where the walk wins
+#: (``tests/core/test_auto_backend.py`` pins this against the committed
+#: benchmark data).
+VECTOR_MIN_SEGMENTS = 2048
 
 #: Segment count from which the ``"tree"`` back-end's O(log S) descents
 #: clearly beat both O(S) scans on *query-dominated* workloads (measured in
@@ -108,6 +117,19 @@ VECTOR_MIN_SEGMENTS = 64
 #: 1000 segments).  Advisory: ``"auto"`` never selects the tree — see the
 #: module docs — so opting in is an explicit deployment choice.
 TREE_MIN_SEGMENTS = 1000
+
+
+def resolve_auto_backend(n_segments: int) -> str:
+    """The back-end ``"auto"`` picks for a profile of ``n_segments``.
+
+    Scalar below :data:`VECTOR_MIN_SEGMENTS`, vector from there up.
+    ``"auto"`` deliberately never resolves to ``"tree"`` or ``"kernel"``
+    (explicit opt-ins: the tree trades mutation cost for query cost, the
+    kernel needs a C toolchain) — the contract tested against the
+    committed benchmark data is merely that auto is never the *worst*
+    scan at any committed fragmentation point.
+    """
+    return "vector" if n_segments >= VECTOR_MIN_SEGMENTS else "scalar"
 
 
 class AvailabilityProfile:
@@ -162,7 +184,7 @@ class AvailabilityProfile:
         self._avail: list[int] = [capacity]
         #: Cached free-area prefix sums; None whenever the profile mutated
         #: since the last area query (rebuilt lazily by :meth:`_ensure_prefix`).
-        self._prefix: list[float] | None = None
+        self._prefix: "list[float] | np.ndarray | None" = None
         #: NumPy mirrors of ``_times`` / ``_avail`` for vectorized fit
         #: probes; built lazily by :meth:`_mirrors` and kept in sync
         #: incrementally by :meth:`_shift` / :meth:`compact` (never rebuilt
@@ -327,9 +349,7 @@ class AvailabilityProfile:
             return backend
         if not self.VECTORIZED_SCAN:
             return "scalar"
-        if len(self._times) >= VECTOR_MIN_SEGMENTS:
-            return "vector"
-        return "scalar"
+        return resolve_auto_backend(len(self._times))
 
     def _tree(self) -> SegmentTreeIndex:
         """The consolidated segment-tree index (built on first use)."""
@@ -351,11 +371,18 @@ class AvailabilityProfile:
         if t1 <= t0:
             return self.available_at(t0)
         i = self._index_at(t0)
-        if self.scan_backend() == "tree":
+        backend = self.scan_backend()
+        if backend == "tree":
             # Same window as the scalar walk below: segment i plus every
             # later segment starting strictly before t1 - TIME_EPS.
             hi = max(bisect_left(self._times, t1 - TIME_EPS), i + 1)
             return self._tree().range_min(i, hi)
+        if backend == "kernel":
+            # Same window, reduced flat over the int64 mirror by the
+            # kernel layer (compiled loop or numpy min — bit-identical).
+            hi = max(bisect_left(self._times, t1 - TIME_EPS), i + 1)
+            _, avail_m = self._mirrors()
+            return kernels.active().range_min(avail_m, i, hi)
         lo = self._avail[i]
         n = len(self._times)
         i += 1
@@ -365,7 +392,7 @@ class AvailabilityProfile:
             i += 1
         return lo
 
-    def _ensure_prefix(self) -> list[float]:
+    def _ensure_prefix(self) -> "list[float] | np.ndarray":
         """Return the cached free-area prefix sums, rebuilding if stale.
 
         ``prefix[k]`` is the free processor-time integral from the origin to
@@ -409,11 +436,27 @@ class AvailabilityProfile:
             raise SchedulingError(
                 f"time {t0} precedes profile origin {self._times[0]}"
             )
-        if self.scan_backend() == "tree":
+        backend = self.scan_backend()
+        if backend == "tree":
             # The tree's incrementally maintained prefix is bit-identical to
             # the list prefix (same sequential accumulation) but avoids the
             # O(S) Python rebuild after every mutation.
             prefix = self._tree().prefix()
+            return float(
+                self._cumulative_free(t1, prefix) - self._cumulative_free(t0, prefix)
+            )
+        if backend == "kernel":
+            # np.cumsum over the mirror segment areas accumulates in the
+            # same sequential order as the Python loop, so the cached
+            # array is bit-identical to the list prefix (the rebuild just
+            # runs at C speed).  Shares the ``_prefix`` cache slot and its
+            # invalidation-on-mutation lifecycle.
+            prefix = self._prefix
+            if prefix is None:
+                times_m, avail_m = self._mirrors()
+                prefix = kernels.free_area_prefix(times_m, avail_m)
+                self._prefix = prefix
+                self.stats.prefix_rebuilds += 1
             return float(
                 self._cumulative_free(t1, prefix) - self._cumulative_free(t0, prefix)
             )

@@ -143,6 +143,16 @@ class Schedule:
             for pl in reversed(applied):
                 self.profile.release(pl.start, pl.end, pl.processors)
             raise
+        self.record_commit(cp)
+        self.perf.count("commits")
+
+    def record_commit(self, cp: ChainPlacement) -> None:
+        """Book-keep a committed chain placement (no profile mutation).
+
+        Split out of :meth:`commit` so the batched admission kernel —
+        which applies the profile reservations wholesale inside C — can
+        replay the per-chain accounting without re-reserving.
+        """
         if self._keep:
             self._placements.append(cp)
         self._committed_area += cp.total_area
@@ -153,7 +163,6 @@ class Schedule:
             self._first_release = cp.release
         if cp.finish > self._last_finish:
             self._last_finish = cp.finish
-        self.perf.count("commits")
 
     def rollback(self, cp: ChainPlacement) -> None:
         """Undo a previously committed chain placement.

@@ -69,7 +69,7 @@ class RunMetrics:
     resilience: Mapping[str, float | int] = field(default_factory=dict)
     # compare=False: wall-clock diagnostics never make two runs unequal
     # (and they don't survive persistence round-trips by design).
-    perf: Mapping[str, float | int] = field(default_factory=dict, compare=False)
+    perf: Mapping[str, float | int | str] = field(default_factory=dict, compare=False)
 
     @property
     def throughput(self) -> int:
@@ -133,7 +133,7 @@ class MetricsCollector:
         chain_usage: Mapping[int, int],
         achieved_quality: float,
         horizon: float,
-        perf: Mapping[str, float | int] | None = None,
+        perf: Mapping[str, float | int | str] | None = None,
         resilience: Mapping[str, float | int] | None = None,
     ) -> RunMetrics:
         """Produce the immutable summary."""

@@ -22,6 +22,12 @@ rigid or malleable).  For each case the harness:
 4. **Oracle bound** — on small rigid cases, the exhaustive oracle must
    admit at least as many jobs as greedy (greedy beating the "optimum"
    would prove one of them invalid).
+5. **Batch identity** — :meth:`QoSArbitrator.admit_batch` over the whole
+   case replays bit-identical to the serial submit loop, per policy.
+   The ``"kernel"`` scan back-end in the differential matrix and the
+   batched runs both route through :mod:`repro.core.kernels`, so running
+   the fuzzer under ``REPRO_KERNEL=compiled`` (CI does) pits the
+   compiled C kernels against the pure-Python stack case by case.
 
 On failure the case is **shrunk** — jobs removed, chains dropped, chain
 tails truncated, greedily to a local minimum that still fails — and the
@@ -62,6 +68,7 @@ __all__ = [
     "FuzzReport",
     "random_case",
     "run_case",
+    "run_case_batch",
     "check_case",
     "shrink",
     "persist_failure",
@@ -76,7 +83,7 @@ CORPUS_VERSION = 1
 _RANDOM_POLICY_SEED = 1234
 
 #: Scan back-ends under differential test.
-_BACKENDS: tuple[str, ...] = ("scalar", "vector", "tree")
+_BACKENDS: tuple[str, ...] = ("scalar", "vector", "tree", "kernel")
 
 #: Deterministic policies checked by the order-metamorphic test.
 _POLICIES: tuple[TieBreakPolicy, ...] = (
@@ -261,6 +268,61 @@ def run_case(
     return digest, failures
 
 
+def run_case_batch(
+    case: FuzzCase,
+    *,
+    backend: str = "auto",
+    prune: bool = True,
+    policy: TieBreakPolicy = TieBreakPolicy.PAPER,
+    audit: bool = True,
+) -> tuple[tuple, list[str]]:
+    """Like :func:`run_case`, but through one ``admit_batch`` call.
+
+    Exercises the batched admission API — the compiled one-call fast
+    path when the kernel layer resolves to ``compiled`` and the
+    configuration supports it, the pre-screened serial path otherwise —
+    whose contract is bit-identical decisions to the serial loop
+    :func:`run_case` drives.
+    """
+    arbitrator = QoSArbitrator(
+        case.capacity,
+        malleable=case.malleable,
+        backend=backend,
+        prune=prune,
+        policy=policy,
+        seed=_RANDOM_POLICY_SEED,
+        keep_placements=True,
+    )
+    decisions = []
+    for decision in arbitrator.admit_batch(list(case.jobs)):
+        if decision.admitted and decision.placement is not None:
+            cp = decision.placement
+            decisions.append(
+                (
+                    True,
+                    cp.chain_index,
+                    tuple(
+                        (pl.start, pl.processors, pl.duration)
+                        for pl in cp.placements
+                    ),
+                )
+            )
+        else:
+            decisions.append((False, None, ()))
+    digest = (tuple(decisions), arbitrator.utilization())
+    failures: list[str] = []
+    if audit:
+        report = ScheduleAuditor(malleable=case.malleable).audit(
+            arbitrator.schedule, case.jobs
+        )
+        if not report.ok:
+            failures.append(
+                f"audit[batch,{backend},prune={prune},{policy.value}]: "
+                + "; ".join(str(v) for v in report.violations[:4])
+            )
+    return digest, failures
+
+
 # ---------------------------------------------------------------------------
 # Checks
 # ---------------------------------------------------------------------------
@@ -415,11 +477,35 @@ def oracle_failures(case: FuzzCase) -> list[str]:
     return []
 
 
+def batch_failures(case: FuzzCase) -> list[str]:
+    """``admit_batch`` replays bit-identical to the serial submit loop.
+
+    Checked per tie-break policy against the serial digest of the same
+    configuration; the batched run is also audited.  Which batched
+    machinery runs (one-call compiled loop vs pre-screened Python loop)
+    depends on the kernel layer and the policy — both must be invisible
+    in the decisions.
+    """
+    failures: list[str] = []
+    policies = _POLICIES if not case.malleable else (TieBreakPolicy.PAPER,)
+    for policy in policies:
+        serial, _ = run_case(case, policy=policy, audit=False)
+        batched, audit_fails = run_case_batch(case, policy=policy)
+        failures.extend(audit_fails)
+        if batched != serial:
+            failures.append(
+                f"batch divergence under {policy.value}: admit_batch != "
+                "serial submit loop"
+            )
+    return failures
+
+
 def check_case(case: FuzzCase) -> list[str]:
     """All checks for one case; empty list means the case is clean."""
     failures = differential_failures(case)
     failures += metamorphic_failures(case)
     failures += oracle_failures(case)
+    failures += batch_failures(case)
     return failures
 
 

@@ -1,0 +1,88 @@
+"""Regression: the ``"auto"`` back-end resolver tracks the measured data.
+
+The original heuristic flipped to the vectorized scan at 64 segments —
+but the committed fragmentation benchmark (``BENCH_sched.json``) shows
+the vector scan's fixed per-probe numpy overhead keeps it *behind* the
+scalar walk at both 100 and 1000 live segments, winning only by 10000.
+``"auto"`` picking the slowest scan on committed measurement points is
+exactly the bug this file pins closed: at every committed fragmentation
+point, the back-end :func:`resolve_auto_backend` selects must not be the
+worst-measured one.
+
+The test reads the committed benchmark report, so regenerating
+``BENCH_sched.json`` on a machine with a different crossover will flag
+the heuristic for re-tuning rather than silently shipping a bad
+default.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.profile import (
+    AvailabilityProfile,
+    VECTOR_MIN_SEGMENTS,
+    resolve_auto_backend,
+)
+
+_BENCH = Path(__file__).resolve().parents[2] / "BENCH_sched.json"
+
+
+def _fragmentation_points():
+    if not _BENCH.exists():  # fresh checkout before any bench run
+        pytest.skip("no committed BENCH_sched.json")
+    report = json.loads(_BENCH.read_text())
+    return report["fragmentation"]["points"]
+
+
+def test_auto_is_never_the_worst_backend_on_committed_points():
+    for point in _fragmentation_points():
+        segments = point["segments"]
+        p50 = {
+            name: data["p50_us"]
+            for name, data in point["backends"].items()
+            if name in ("scalar", "vector")  # the pool auto picks from
+        }
+        choice = resolve_auto_backend(segments)
+        worst = max(p50, key=p50.get)
+        assert choice in p50
+        assert choice != worst or len(set(p50.values())) == 1, (
+            f"auto resolves to {choice} at {segments} segments but the "
+            f"committed p50s are {p50} — re-tune VECTOR_MIN_SEGMENTS"
+        )
+
+
+def test_crossover_is_between_committed_loss_and_win_points():
+    """2048 sits strictly inside the (1000, 10000) bracket the committed
+    data establishes: vector loses at 1000 and wins at 10000."""
+    points = {p["segments"]: p for p in _fragmentation_points()}
+    losses = [
+        s for s, p in points.items()
+        if p["backends"]["vector"]["p50_us"] > p["backends"]["scalar"]["p50_us"]
+    ]
+    wins = [
+        s for s, p in points.items()
+        if p["backends"]["vector"]["p50_us"] < p["backends"]["scalar"]["p50_us"]
+    ]
+    if losses:
+        assert VECTOR_MIN_SEGMENTS > max(losses)
+    if wins:
+        assert VECTOR_MIN_SEGMENTS <= min(wins)
+
+
+def test_resolver_thresholds():
+    assert resolve_auto_backend(0) == "scalar"
+    assert resolve_auto_backend(VECTOR_MIN_SEGMENTS - 1) == "scalar"
+    assert resolve_auto_backend(VECTOR_MIN_SEGMENTS) == "vector"
+    assert resolve_auto_backend(10 * VECTOR_MIN_SEGMENTS) == "vector"
+
+
+def test_profile_scan_backend_follows_resolver():
+    profile = AvailabilityProfile(4)
+    assert profile.scan_backend() == resolve_auto_backend(1) == "scalar"
+    for i in range(VECTOR_MIN_SEGMENTS + 1):
+        profile.reserve(2.0 * i, 2.0 * i + 1.0, 1)
+    assert profile.scan_backend() == "vector"

@@ -1,13 +1,19 @@
-"""Property tests: the three profile back-ends are bit-equivalent.
+"""Property tests: the concrete profile back-ends are bit-equivalent.
 
-The scalar walk is the reference implementation; the vector scan and the
-segment-tree index are performance back-ends that must return *identical*
-results — not merely close ones — under every interleaving of mutation
-and query the scheduler can produce: reserve / release / compact on the
-profile, and the Schedule commit / rollback cycle on top.  Bit-equality
-is what lets the benchmarks checksum admission decisions across back-ends
-(``benchmarks/bench_fragmentation.py``) and what the ``"tree"`` opt-in
-relies on to be a pure performance switch.
+The scalar walk is the reference implementation; the vector scan, the
+segment-tree index and the kernel layer are performance back-ends that
+must return *identical* results — not merely close ones — under every
+interleaving of mutation and query the scheduler can produce: reserve /
+release / compact on the profile, and the Schedule commit / rollback
+cycle on top.  Bit-equality is what lets the benchmarks checksum
+admission decisions across back-ends
+(``benchmarks/bench_fragmentation.py``) and what the ``"tree"`` /
+``"kernel"`` opt-ins rely on to be pure performance switches.
+
+The ``"kernel"`` back-end routes through whichever decision kernel is
+active (compiled ``.so`` or the pure-NumPy fallback, per
+``REPRO_KERNEL``), so this file transitively pins both implementations
+to the scalar reference.
 """
 
 from hypothesis import given
@@ -20,7 +26,7 @@ from repro.core.schedule import Schedule
 from tests.conftest import nice_durations, nice_times, task_chains
 
 #: The concrete back-ends ("auto" only delegates to these).
-BACKENDS = ("scalar", "vector", "tree")
+BACKENDS = ("scalar", "vector", "tree", "kernel")
 
 
 @st.composite

@@ -1,0 +1,203 @@
+"""The decision-kernel layer: selection, build, and bit-identity.
+
+Three layers of guarantees:
+
+* **selection** — ``REPRO_KERNEL`` validation, the ``set_kernel``/``use``
+  override used by benchmarks, the fallback counter, and the
+  ``kernel_backend`` / ``kernel_fallbacks`` fields of ``perf_snapshot``;
+* **build** — the on-demand C build is cached by mtime and stamps an ABI
+  version that the ctypes binding refuses to load when mismatched;
+* **bit-identity** — the compiled kernels return *identical* decisions
+  (and identical floats) to the pure-Python implementation and to the
+  scalar reference walk, on randomized fragmented profiles.  Compiled
+  cases are skipped (not silently passed) when no compiler is present.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.arbitrator import QoSArbitrator
+from repro.core.first_fit import earliest_fit
+from repro.core.kernels import build, pykernels
+from repro.core.profile import AvailabilityProfile
+from repro.errors import ConfigurationError
+
+
+def _have_compiled() -> bool:
+    try:
+        with kernels.use("compiled"):
+            return True
+    except ConfigurationError:
+        return False
+
+
+needs_compiled = pytest.mark.skipif(
+    not _have_compiled(), reason="no C compiler / compiled kernel available"
+)
+
+
+def _fragmented_profile(rng: random.Random, capacity: int = 16):
+    profile = AvailabilityProfile(capacity)
+    for _ in range(rng.randint(0, 30)):
+        t0 = rng.randrange(0, 40) * 0.25
+        t1 = t0 + rng.randrange(1, 12) * 0.25
+        avail = profile.min_available(t0, t1)
+        if avail:
+            profile.reserve(t0, t1, rng.randint(1, avail))
+    return profile
+
+
+# -- selection ---------------------------------------------------------
+
+
+def test_requested_mode_rejects_unknown(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "turbo")
+    with pytest.raises(ConfigurationError):
+        kernels.requested_mode()
+
+
+def test_use_restores_previous_mode():
+    before = kernels.kernel_backend()
+    with kernels.use("python"):
+        assert kernels.kernel_backend() == "python"
+        assert kernels.active() is pykernels
+    assert kernels.kernel_backend() == before
+
+
+def test_note_fallback_counts_and_surfaces_in_perf_snapshot():
+    before = kernels.stats.fallbacks
+    kernels.note_fallback("unit-test fallback")
+    assert kernels.stats.fallbacks == before + 1
+    assert kernels.stats.last_reason == "unit-test fallback"
+    snap = QoSArbitrator(8).perf_snapshot()
+    assert snap["kernel_backend"] in ("compiled", "python")
+    assert snap["kernel_fallbacks"] >= before + 1
+
+
+def test_python_kernels_do_not_support_batch():
+    assert pykernels.compiled is False
+    assert pykernels.supports_batch is False
+
+
+# -- build / ABI -------------------------------------------------------
+
+
+@needs_compiled
+def test_build_is_cached_and_abi_stamped():
+    path = build.ensure_built()
+    assert path.exists()
+    # a second call must be a no-op returning the same artifact
+    assert build.ensure_built() == path
+    from repro.core.kernels import compiled
+
+    lib = compiled.load()
+    assert int(lib._lib.repro_abi_version()) == build.ABI_VERSION
+    assert lib.compiled is True and lib.supports_batch is True
+
+
+def test_missing_compiler_raises_configuration_error(monkeypatch):
+    monkeypatch.setattr(build, "find_compiler", lambda: None)
+    monkeypatch.setattr(
+        build.Path, "exists", lambda self: False, raising=False
+    )
+    with pytest.raises(ConfigurationError):
+        build.ensure_built()
+
+
+# -- bit-identity ------------------------------------------------------
+
+
+def test_free_area_prefix_matches_scalar_loop():
+    rng = random.Random(7)
+    for _ in range(50):
+        profile = _fragmented_profile(rng)
+        times, avail = profile._mirrors()  # noqa: SLF001
+        got = kernels.free_area_prefix(times, avail)
+        acc, expect = 0.0, [0.0]
+        for k in range(1, len(profile._times)):  # noqa: SLF001
+            acc += profile._avail[k - 1] * (  # noqa: SLF001
+                profile._times[k] - profile._times[k - 1]  # noqa: SLF001
+            )
+            expect.append(acc)
+        assert got.tolist() == expect  # bit-exact, not approx
+
+
+@needs_compiled
+def test_compiled_matches_python_kernels_on_random_probes():
+    from repro.core.kernels import compiled
+
+    clib = compiled.load()
+    rng = random.Random(11)
+    for _ in range(200):
+        profile = _fragmented_profile(rng)
+        times, avail = profile._mirrors()  # noqa: SLF001
+        n = len(profile._times)  # noqa: SLF001
+        i = rng.randrange(0, n)
+        procs = rng.randint(1, profile.capacity)
+        dur = rng.randrange(1, 10) * 0.25
+        release = float(times[i])
+        deadline = release + rng.randrange(1, 40) * 0.5
+        c_start, _ = clib.earliest_fit_arrays(
+            times, avail, n, i, procs, dur, release, deadline
+        )
+        p_start, _ = pykernels.earliest_fit_arrays(
+            times, avail, n, i, procs, dur, release, deadline
+        )
+        assert c_start == p_start  # exact float equality or both None
+        lo = rng.randrange(0, n)
+        hi = rng.randrange(lo + 1, n + 1)
+        assert clib.range_min(avail, lo, hi) == pykernels.range_min(
+            avail, lo, hi
+        )
+
+
+@needs_compiled
+def test_kernel_backend_decisions_match_scalar_reference():
+    rng = random.Random(23)
+    for _ in range(60):
+        seed = rng.randrange(1 << 30)
+        case_rng = random.Random(seed)
+        starts = {}
+        for kmode in ("compiled", "python"):
+            with kernels.use(kmode):
+                prof_rng = random.Random(seed)
+                scalar = _fragmented_profile(prof_rng, capacity=16)
+                kernel = scalar.copy()
+                kernel._backend = "kernel"  # noqa: SLF001
+                procs = case_rng.randint(1, 16)
+                dur = case_rng.randrange(1, 12) * 0.25
+                release = case_rng.randrange(0, 30) * 0.5
+                deadline = release + case_rng.randrange(1, 50) * 0.5
+                want = earliest_fit(scalar, procs, dur, release, deadline)
+                got = earliest_fit(kernel, procs, dur, release, deadline)
+                assert got == want
+                starts[kmode] = want
+            case_rng = random.Random(seed)  # same probe for both modes
+        assert starts["compiled"] == starts["python"]
+
+
+def test_range_min_matches_python_min():
+    rng = random.Random(3)
+    avail = np.array([rng.randint(0, 9) for _ in range(64)], dtype=np.int64)
+    for _ in range(100):
+        lo = rng.randrange(0, 64)
+        hi = rng.randrange(lo + 1, 65)
+        assert kernels.active().range_min(avail, lo, hi) == min(
+            avail[lo:hi].tolist()
+        )
+
+
+def test_earliest_fit_arrays_infinite_tail():
+    # the last segment extends to +inf: any fit starting there succeeds
+    times = np.array([0.0, 1.0], dtype=np.float64)
+    avail = np.array([0, 4], dtype=np.int64)
+    start, _ = kernels.active().earliest_fit_arrays(
+        times, avail, 2, 0, 2, 100.0, 0.0, math.inf
+    )
+    assert start == 1.0
