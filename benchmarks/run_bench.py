@@ -32,6 +32,13 @@ Two sections:
   (:mod:`repro.core.kernels`), decisions and final profile checksummed
   across all modes; at full scale the batched-compiled mode must clear
   the 100k decisions/sec floor on the low-fragmentation point.
+* ``service`` — the fault-tolerant admission front-end
+  (:mod:`repro.service`, via :mod:`bench_service`): one identical job
+  stream decided directly by ``admit_batch`` and through the full durable
+  service path (enqueue -> coalesce -> WAL append -> decide -> fsync ->
+  ack), decisions checksummed across modes; at full scale the fsync'd
+  service must stay within 2x of the recorded 100k/s direct floor (>=
+  50k durable decisions/sec).
 * ``reconfig`` — mid-execution malleability
   (:mod:`repro.resilience.reconfig`): an armed grow/shrink engine with a
   prohibitive reconfiguration cost on a zero-event trace must reproduce
@@ -75,6 +82,7 @@ from bench_decision_throughput import (  # noqa: E402
     run_decision_throughput_bench,
 )
 from bench_fragmentation import run_fragmentation_bench  # noqa: E402
+from bench_service import run_service_bench  # noqa: E402
 from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
 from repro.core.arbitrator import QoSArbitrator  # noqa: E402
 from repro.core.profile import AvailabilityProfile  # noqa: E402
@@ -365,6 +373,7 @@ def generate(quick: bool = False) -> dict:
         throughput_jobs, throughput_counts, throughput_floor = (
             2_000, (100,), False,
         )
+        service_jobs, service_floor = 400, False
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
         sweep_n, sweep_values, sweep_workers = (
@@ -378,6 +387,7 @@ def generate(quick: bool = False) -> dict:
         throughput_jobs, throughput_counts, throughput_floor = (
             20_000, (100, 1_000), True,
         )
+        service_jobs, service_floor = 4_000, True
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
@@ -397,6 +407,9 @@ def generate(quick: bool = False) -> dict:
         "fragmentation": run_fragmentation_bench(frag_decisions, frag_counts),
         "decision_throughput": run_decision_throughput_bench(
             throughput_jobs, throughput_counts, enforce_floor=throughput_floor
+        ),
+        "service": run_service_bench(
+            service_jobs, enforce_floor=service_floor
         ),
         "resilience": run_resilience_bench(resilience_n),
         "reconfig": run_reconfig_bench(reconfig_n),
@@ -463,6 +476,22 @@ def main(argv: list[str] | None = None) -> int:
             f"serial-python={modes['serial-python']['decisions_per_sec']}/s "
             f"{tag}={headline}/s ({point[speed_key]}x), decisions identical"
         )
+    service = report["service"]
+    if service["floor_enforced"]:
+        floor_note = (
+            f"required >= {service['required_decisions_per_sec']}/s, "
+            f"{'ok' if service['floor_satisfied'] else 'MISSED'}"
+        )
+    else:
+        floor_note = "floor not enforced at this scale"
+    print(
+        f"  service ({service['jobs']} jobs, batch {service['max_batch']}): "
+        f"direct={service['modes']['direct']['decisions_per_sec']}/s "
+        f"durable={service['modes']['service']['decisions_per_sec']}/s "
+        f"({floor_note}), "
+        f"nosync={service['modes']['service-nosync']['decisions_per_sec']}/s, "
+        f"decisions identical"
+    )
     resilience = report["resilience"]
     print(
         f"  resilience ({resilience['jobs']} jobs, "

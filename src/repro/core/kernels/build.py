@@ -20,12 +20,21 @@ from __future__ import annotations
 import os
 import platform
 import shutil
+import struct
 import subprocess
+import sys
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 
-__all__ = ["ABI_VERSION", "ensure_built", "find_compiler", "lib_path"]
+__all__ = [
+    "ABI_VERSION",
+    "artifact_intact",
+    "ensure_built",
+    "find_compiler",
+    "lib_path",
+    "notice",
+]
 
 #: Must match ``ABI_VERSION`` in ``_kernels.c``; bump both together when
 #: the exported signatures change so a stale cached ``.so`` is rebuilt
@@ -35,6 +44,17 @@ ABI_VERSION = 2
 SOURCE = Path(__file__).with_name("_kernels.c")
 
 CFLAGS = ("-O2", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+
+
+def notice(message: str) -> None:
+    """Emit a CI-visible ``::notice`` annotation (plain stderr elsewhere).
+
+    GitHub Actions renders ``::notice`` lines as workflow annotations;
+    locally they are just one informative stderr line.  Used when the
+    kernel layer self-heals (e.g. rebuilding a corrupt artifact) so the
+    event is observable without being an error.
+    """
+    print(f"::notice title=repro-kernels::{message}", file=sys.stderr)
 
 
 def find_compiler() -> str | None:
@@ -71,13 +91,46 @@ def lib_path() -> Path:
     return cache / candidate.name
 
 
+def artifact_intact(path: Path) -> bool:
+    """Cheap structural check that a shared object is not truncated.
+
+    ``dlopen`` of a *partially written* ``.so`` is not a catchable error:
+    the loader mmaps program segments that extend past EOF and the
+    process dies with SIGBUS on first touch.  So completeness must be
+    established *before* ever handing the file to ``ctypes``.  Linkers
+    place the section-header table at the end of the object; an ELF
+    whose header points that table inside the file is complete for
+    loading purposes.  Non-ELF platforms (Mach-O, PE) only get the
+    magic-independent minimum-size check — their loaders report
+    truncation as a catchable load error, which :func:`~repro.core.
+    kernels.compiled.load` turns into a rebuild.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    if len(data) < 64:
+        return False
+    if data[:4] != b"\x7fELF":
+        return True  # not ELF: leave judgement to the dynamic loader
+    if data[4] != 2 or data[5] != 1:
+        return True  # only 64-bit little-endian layouts are parsed here
+    (e_shoff,) = struct.unpack_from("<Q", data, 0x28)
+    e_shentsize, e_shnum = struct.unpack_from("<HH", data, 0x3A)
+    return e_shoff + e_shentsize * e_shnum <= len(data)
+
+
 def ensure_built(force: bool = False) -> Path:
     """Return the path of an up-to-date shared object, building if stale.
 
-    Raises :class:`~repro.errors.ConfigurationError` when no compiler is
-    available or the compile fails; never leaves a partially written
-    object behind (the build lands in a temp name and is renamed into
-    place atomically).
+    A cached artifact is reused only when it is both fresh (mtime ≥
+    source) and structurally intact (:func:`artifact_intact`); a
+    truncated object left by an interrupted build triggers a clean,
+    ``::notice``-announced rebuild instead of a hard crash at ``dlopen``
+    time.  Raises :class:`~repro.errors.ConfigurationError` when no
+    compiler is available or the compile fails; never leaves a partially
+    written object behind (the build lands in a temp name and is renamed
+    into place atomically).
     """
     path = lib_path()
     if (
@@ -85,7 +138,12 @@ def ensure_built(force: bool = False) -> Path:
         and path.exists()
         and path.stat().st_mtime >= SOURCE.stat().st_mtime
     ):
-        return path
+        if artifact_intact(path):
+            return path
+        notice(
+            f"kernel artifact {path} is truncated or corrupt "
+            "(interrupted build?); rebuilding"
+        )
     cc = find_compiler()
     if cc is None:
         raise ConfigurationError(

@@ -15,7 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.kernels.build import ABI_VERSION, ensure_built
+from repro.core.kernels.build import ABI_VERSION, ensure_built, notice
 from repro.errors import ConfigurationError
 
 __all__ = ["CompiledKernels", "load"]
@@ -128,8 +128,32 @@ _loaded: CompiledKernels | None = None
 
 
 def load() -> CompiledKernels:
-    """Build (if stale) and load the compiled kernel, cached per process."""
+    """Build (if stale) and load the compiled kernel, cached per process.
+
+    A cached artifact can be unloadable even when its mtime looks fresh:
+    an interrupted build left a truncated ``.so`` (``CDLL`` raises
+    ``OSError``) or an upgrade changed the ABI stamp
+    (:class:`~repro.errors.ConfigurationError`).  Both trigger exactly
+    one clean forced rebuild, announced with a ``::notice`` annotation —
+    never a hard crash.  If even the rebuilt object cannot be loaded the
+    failure is normalized to :class:`~repro.errors.ConfigurationError`
+    so ``REPRO_KERNEL=auto`` falls back to the Python kernels.
+    """
     global _loaded
     if _loaded is None:
-        _loaded = CompiledKernels(ensure_built())
+        path = ensure_built()
+        try:
+            _loaded = CompiledKernels(path)
+        except (OSError, ConfigurationError) as exc:
+            notice(
+                f"kernel artifact {path} is stale or corrupt ({exc}); "
+                "rebuilding"
+            )
+            try:
+                _loaded = CompiledKernels(ensure_built(force=True))
+            except OSError as rebuilt_exc:
+                raise ConfigurationError(
+                    f"rebuilt kernel at {path} still fails to load: "
+                    f"{rebuilt_exc}"
+                ) from rebuilt_exc
     return _loaded

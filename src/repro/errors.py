@@ -29,6 +29,10 @@ __all__ = [
     "SimulationError",
     "WorkloadError",
     "VerificationError",
+    "ServiceError",
+    "TransientWorkerError",
+    "ServiceUnavailableError",
+    "WalCorruptionError",
 ]
 
 
@@ -152,3 +156,33 @@ class WorkloadError(ReproError):
 class VerificationError(ReproError):
     """An independent verification check (audit, differential, post-check)
     found the system lying about its own results."""
+
+
+# ---------------------------------------------------------------------------
+# Admission service
+# ---------------------------------------------------------------------------
+
+
+class ServiceError(ReproError):
+    """Base class for admission-service errors (:mod:`repro.service`)."""
+
+
+class TransientWorkerError(ServiceError):
+    """A decision worker failed *before* taking effect; safe to retry.
+
+    The service's retry loop assumes the failed attempt committed nothing
+    to the arbitrator — workers must fail-before-side-effect (a worker
+    that dies mid-commit takes the whole service down instead, and crash
+    recovery replays the WAL).
+    """
+
+
+class ServiceUnavailableError(ServiceError):
+    """The admission service is stopped, failed, or crashing; resubmit
+    after recovery (requests are idempotent by request id)."""
+
+
+class WalCorruptionError(ServiceError):
+    """The write-ahead decision log is damaged beyond the torn tail that
+    a crash legitimately leaves (bad checksum *before* valid records, a
+    corrupt checkpoint, an unsupported format version)."""

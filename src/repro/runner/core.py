@@ -36,6 +36,7 @@ entries as cache hits.
 from __future__ import annotations
 
 import math
+import random
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
@@ -68,6 +69,15 @@ class RunnerConfig:
     ``retries`` counts fresh-pool retry rounds after a chunk failure
     before falling back in-process.
 
+    Retry rounds back off exponentially (``backoff_base * 2**(round-1)``,
+    capped at ``backoff_cap``) with seeded jitter (up to
+    ``backoff_jitter`` of the delay, drawn from ``Random(backoff_seed)``
+    so runs are reproducible) — re-submitting immediately into the same
+    transient condition (OOM-killed workers, a saturated machine) just
+    burns the retry budget.  Total sleep is surfaced as
+    ``retry_backoff_total`` in :meth:`ExperimentRunner.perf_snapshot`.
+    ``backoff_base=0`` disables the sleep entirely.
+
     ``audit=True`` adds an independent post-check: after a batch merges,
     every unique unit is re-run in-process with placements retained, its
     final schedule is audited by :class:`repro.verify.ScheduleAuditor`,
@@ -85,6 +95,10 @@ class RunnerConfig:
     timeout: float | None = None
     retries: int = 1
     audit: bool = False
+    backoff_base: float = 0.25
+    backoff_cap: float = 4.0
+    backoff_jitter: float = 0.5
+    backoff_seed: int = 0
 
 
 class ExperimentRunner:
@@ -103,6 +117,7 @@ class ExperimentRunner:
             else None
         )
         self.perf = PerfRecorder()
+        self._backoff_rng = random.Random(self.config.backoff_seed)
         # Pool dispatch target; in-process fallback always runs the real
         # simulation so fault-injecting stubs (tests) still yield results.
         self._chunk_fn = _chunk_fn
@@ -273,6 +288,7 @@ class ExperimentRunner:
                 break
             if attempt:
                 self.perf.count("pool_retries")
+                self._backoff(attempt)
             pool: ProcessPoolExecutor | None = None
             try:
                 pool = ProcessPoolExecutor(
@@ -306,6 +322,18 @@ class ExperimentRunner:
                 if pool is not None:
                     pool.shutdown(wait=False, cancel_futures=True)
         return done
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep before retry round ``attempt`` (exponential + jitter)."""
+        if self.config.backoff_base <= 0:
+            return
+        delay = min(
+            self.config.backoff_cap,
+            self.config.backoff_base * (2 ** (attempt - 1)),
+        )
+        delay *= 1.0 + self.config.backoff_jitter * self._backoff_rng.random()
+        self.perf.count("retry_backoff_total", delay)
+        time.sleep(delay)
 
 
 def chunk_units(

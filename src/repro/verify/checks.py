@@ -47,6 +47,7 @@ from repro.workloads.sweep import SweepConfig, _job_factory
 __all__ = [
     "audited_point",
     "verify_unit",
+    "verify_replay",
     "GapReport",
     "greedy_vs_oracle",
     "oracle_chain_placements",
@@ -171,6 +172,83 @@ def verify_unit(
             + "\n".join(diffs)
         )
     return report
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery replay verification (used by repro.service.recovery)
+# ---------------------------------------------------------------------------
+
+
+def _decision_fingerprint(decision) -> tuple:
+    """Bit-exact ``(admitted, chain_index, ((start, width, duration), ...))``.
+
+    Kept local (rather than importing :mod:`repro.service.wal`'s identical
+    helper) so the verify layer stays import-independent of the subsystem
+    it judges.
+    """
+    if decision.admitted and decision.placement is not None:
+        cp = decision.placement
+        return (
+            True,
+            cp.chain_index,
+            tuple((p.start, p.processors, p.duration) for p in cp.placements),
+        )
+    return (False, None, ())
+
+
+def verify_replay(
+    arbitrator: QoSArbitrator,
+    jobs: "list[Job]",
+    expected: "list[tuple | None]",
+    *,
+    malleable: bool = False,
+    strict: bool = True,
+):
+    """Serially replay ``jobs`` through a *fresh* arbitrator and judge it.
+
+    The crash-recovery contract: re-offering the WAL's effective jobs, in
+    ledger order, to an identically configured arbitrator must reproduce
+    every logged decision **bit-identically** (``expected[i]`` is the
+    logged fingerprint, or ``None`` for an entry the crash left undecided
+    — those are decided now and simply reported back).  The recovered
+    schedule is then audited by the independent
+    :class:`~repro.verify.auditor.ScheduleAuditor`.
+
+    Returns ``(decisions, report)``; with ``strict`` (the default) any
+    fingerprint mismatch or audit violation raises
+    :class:`~repro.errors.VerificationError` — recovery must never hand
+    back a schedule it cannot prove is the pre-crash one.
+    """
+    if len(jobs) != len(expected):
+        raise VerificationError(
+            f"replay: {len(jobs)} jobs but {len(expected)} expected decisions"
+        )
+    decisions = []
+    mismatches: list[str] = []
+    for index, (job, want) in enumerate(zip(jobs, expected)):
+        decision = arbitrator.submit(job)
+        decisions.append(decision)
+        if want is not None:
+            got = _decision_fingerprint(decision)
+            if tuple(got) != tuple(want):
+                mismatches.append(
+                    f"  entry {index} (job {job.job_id!r}): logged {want!r}, "
+                    f"replayed {got!r}"
+                )
+    if mismatches and strict:
+        raise VerificationError(
+            "WAL replay diverged from the logged ledger — recovered state "
+            "is NOT the pre-crash schedule:\n" + "\n".join(mismatches)
+        )
+    report = ScheduleAuditor(malleable=malleable).audit(
+        arbitrator.schedule, list(jobs)
+    )
+    if not report.ok and strict:
+        raise VerificationError(
+            "recovered schedule failed its independent audit:\n"
+            + report.summary()
+        )
+    return decisions, report
 
 
 # ---------------------------------------------------------------------------

@@ -34,6 +34,10 @@ __all__ = ["SyntheticParams"]
 
 _INT_TOL = 1e-9
 
+#: Chain pairs memoized per (frozen, hashable) parameter set — see
+#: :meth:`SyntheticParams._chains`.
+_shared_chains: dict["SyntheticParams", tuple[TaskChain, TaskChain]] = {}
+
 
 @dataclass(frozen=True, slots=True)
 class SyntheticParams:
@@ -165,22 +169,37 @@ class SyntheticParams:
             params={"shape": 2},
         )
 
+    def _chains(self) -> tuple[TaskChain, TaskChain]:
+        """Both configurations, shared across every job of these params.
+
+        Task deadlines are *relative*, so the chains do not depend on the
+        release time — every job stamped out by one ``SyntheticParams``
+        carries value-identical (and here object-identical) chains.
+        Chains are immutable by convention, so sharing is safe, keeps
+        large generated streams compact, and lets identity-keyed caches
+        downstream (e.g. the service WAL's chain encoder) hit.
+        """
+        cached = _shared_chains.get(self)
+        if cached is None:
+            if len(_shared_chains) >= 256:
+                _shared_chains.clear()
+            cached = (self.shape1_chain(), self.shape2_chain())
+            _shared_chains[self] = cached
+        return cached
+
     def tunable_job(self, release: float = 0.0) -> Job:
         """The two-configuration tunable job of Figure 4."""
         return Job.tunable_of(
-            [self.shape1_chain(), self.shape2_chain()],
+            list(self._chains()),
             release=release,
             name="fig4-tunable",
         )
 
     def rigid_job(self, shape: int, release: float = 0.0) -> Job:
         """A non-tunable job pinned to configuration ``shape`` (1 or 2)."""
-        if shape == 1:
-            chain = self.shape1_chain()
-        elif shape == 2:
-            chain = self.shape2_chain()
-        else:
+        if shape not in (1, 2):
             raise WorkloadError(f"shape must be 1 or 2, got {shape}")
+        chain = self._chains()[shape - 1]
         return Job.rigid(chain, release=release, name=f"fig4-shape{shape}")
 
     def or_graph(self) -> ORGraph:

@@ -145,6 +145,38 @@ class TestFailurePaths:
         assert snap["pool_fallback_units"] == 2 * len(serial.systems)
         assert snap["units_executed_inline"] == 2 * len(serial.systems)
 
+    def test_retry_backoff_is_deterministic_and_counted(self, tmp_path):
+        def run(seed):
+            broken = ExperimentRunner(
+                RunnerConfig(
+                    jobs=2,
+                    retries=2,
+                    backoff_base=0.002,
+                    backoff_cap=0.008,
+                    backoff_seed=seed,
+                ),
+                _chunk_fn=_crashing_chunk,
+            )
+            run_sweep("interval", VALUES[:1], CFG, runner=broken)
+            return broken.perf_snapshot()
+
+        a, b, c = run(3), run(3), run(4)
+        assert a["pool_retries"] == b["pool_retries"] == 2
+        # Same seed → bit-identical total sleep; different seed → different
+        # jitter.  Either way the honest total is surfaced in the snapshot.
+        assert a["retry_backoff_total"] == b["retry_backoff_total"] > 0
+        assert c["retry_backoff_total"] != a["retry_backoff_total"]
+
+    def test_zero_backoff_base_disables_sleep(self):
+        broken = ExperimentRunner(
+            RunnerConfig(jobs=2, retries=1, backoff_base=0.0),
+            _chunk_fn=_crashing_chunk,
+        )
+        run_sweep("interval", VALUES[:1], CFG, runner=broken)
+        snap = broken.perf_snapshot()
+        assert snap["pool_retries"] == 1
+        assert "retry_backoff_total" not in snap
+
     def test_chunk_timeout_falls_back_in_process(self):
         serial = run_sweep("interval", VALUES[:1], CFG)
         slow = ExperimentRunner(

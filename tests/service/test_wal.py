@@ -1,0 +1,221 @@
+"""WAL framing, torn-tail semantics, checkpoints, and the fail-point."""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+
+import pytest
+
+from repro.errors import WalCorruptionError
+from repro.service.wal import (
+    LedgerEntry,
+    WriteAheadLog,
+    read_checkpoint,
+    read_wal,
+    records_to_entries,
+    write_checkpoint,
+)
+from repro.sim.persistence import job_to_dict
+from repro.verify.fuzz import random_case
+
+
+def _entries(n=3, seed=0):
+    case = random_case(random.Random(seed), max_jobs=max(n, 2))
+    jobs = (list(case.jobs) * n)[:n]
+    return [
+        LedgerEntry(seq=i + 1, request_id=f"r{i}", qos=i % 3,
+                    degraded=bool(i % 2), job=job)
+        for i, job in enumerate(jobs)
+    ]
+
+
+DEC = (True, 0, ((0.0, 2, 3.0), (3.0, 1, 1.5)))
+REJ = (False, None, ())
+
+
+def test_wal_round_trips_jobs_and_decisions(tmp_path):
+    entries = _entries(3)
+    wal = WriteAheadLog(tmp_path)
+    wal.append_jobs(entries)
+    wal.append_decisions([1, 2, 3], [DEC, REJ, DEC])
+    wal.close()
+
+    records, truncated = read_wal(tmp_path / "wal.log")
+    assert truncated == 0
+    loaded = records_to_entries(records)
+    assert [(e.seq, e.request_id, e.qos, e.degraded) for e in loaded] == [
+        (e.seq, e.request_id, e.qos, e.degraded) for e in entries
+    ]
+    assert [e.decision for e in loaded] == [DEC, REJ, DEC]
+    assert [job_to_dict(e.job) for e in loaded] == [
+        job_to_dict(e.job) for e in entries
+    ]
+
+
+def test_fast_jobs_encoding_is_byte_identical_to_reference(tmp_path):
+    """The cached-fragment assembly must match the plain dict encoding.
+
+    ``append_jobs`` builds its record from ``_entry_json`` (identity-
+    cached chain fragments, inline float reprs); the bytes on disk must
+    be exactly what encoding ``{"k": "jobs", "jobs": [job_record()...]}``
+    through the reference JSON encoder would produce — including awkward
+    strings that force the escape fallback, and repeated (shared) chain
+    objects that exercise the cache-hit path.
+    """
+    from repro.workloads.synthetic import SyntheticParams
+    from repro.service.wal import _dumps, _frame
+
+    params = SyntheticParams(x=16, t=25.0, alpha=0.5, laxity=0.5)
+    shared = [params.tunable_job(float(i)) for i in range(4)]
+    assert shared[0].chains[0] is shared[1].chains[0]  # cache-hit fuel
+    odd = _entries(3, seed=7)
+    entries = [
+        LedgerEntry(seq=i + 1, request_id=rid, qos=i % 3,
+                    degraded=bool(i % 2), job=job)
+        for i, (rid, job) in enumerate(
+            zip(
+                ['plain', 'quo"te', 'back\\slash', 'uni-é', 'ctrl-\n',
+                 'r5', 'r6'],
+                shared + [e.job for e in odd],
+            )
+        )
+    ]
+    wal = WriteAheadLog(tmp_path, fsync=False)
+    wal.append_jobs(entries)
+    wal.close()
+
+    reference = _frame(
+        _dumps(
+            {"k": "jobs", "jobs": [e.job_record() for e in entries]}
+        ).encode("utf-8")
+    )
+    assert (tmp_path / "wal.log").read_bytes() == reference
+
+    records, truncated = read_wal(tmp_path / "wal.log")
+    assert truncated == 0
+    loaded = records_to_entries(records)
+    assert [(e.seq, e.request_id) for e in loaded] == [
+        (e.seq, e.request_id) for e in entries
+    ]
+    assert [job_to_dict(e.job) for e in loaded] == [
+        job_to_dict(e.job) for e in entries
+    ]
+
+
+def test_torn_tail_is_tolerated_and_repaired(tmp_path):
+    entries = _entries(2)
+    wal = WriteAheadLog(tmp_path)
+    wal.append_jobs(entries)
+    wal.close()
+    path = tmp_path / "wal.log"
+    good = path.read_bytes()
+    path.write_bytes(good + b"deadbeef {\"k\":\"job\",\"seq\":99")  # torn
+
+    records, truncated = read_wal(path, repair=True)
+    assert truncated > 0
+    assert len(records) == 1  # the whole batch is one framed record
+    assert len(records_to_entries(records)) == 2
+    assert path.read_bytes() == good  # physically repaired
+    assert read_wal(path) == (records, 0)
+
+
+def test_damage_before_valid_records_is_corruption(tmp_path):
+    entries = _entries(2)
+    wal = WriteAheadLog(tmp_path)
+    wal.append_jobs(entries)
+    wal.append_decisions([1, 2], [DEC, REJ])  # a valid record *after* it
+    wal.close()
+    path = tmp_path / "wal.log"
+    data = bytearray(path.read_bytes())
+    data[15] ^= 0xFF  # flip a byte inside the *first* record's body
+    path.write_bytes(bytes(data))
+    with pytest.raises(WalCorruptionError):
+        read_wal(path)
+
+
+def test_records_to_entries_dedup_and_conflicts(tmp_path):
+    entries = _entries(1)
+    job_rec = entries[0].job_record()
+    dup = dict(job_rec)
+    dec = {"k": "dec", "seqs": [1], "dec": [[True, 0, [[0.0, 2, 3.0]]]]}
+    same = records_to_entries([job_rec, dup, dec, dec])
+    assert len(same) == 1 and same[0].decision == (True, 0, ((0.0, 2, 3.0),))
+
+    with pytest.raises(WalCorruptionError):  # decision for unknown seq
+        records_to_entries([{"k": "dec", "seqs": [7], "dec": [[False, None, []]]}])
+    conflict = {"k": "dec", "seqs": [1], "dec": [[False, None, []]]}
+    with pytest.raises(WalCorruptionError):
+        records_to_entries([job_rec, dec, conflict])
+    with pytest.raises(WalCorruptionError):
+        records_to_entries([{"k": "mystery"}])
+
+
+def test_checkpoint_round_trip_truncation_and_watermark(tmp_path):
+    entries = _entries(3)
+    for e in entries:
+        e.decision = REJ
+    wal = WriteAheadLog(tmp_path)
+    wal.append_jobs(entries)
+    wal.append_decisions([e.seq for e in entries], [e.decision for e in entries])
+    write_checkpoint(tmp_path, entries)
+    wal.truncate()
+    wal.close()
+
+    assert (tmp_path / "wal.log").stat().st_size == 0
+    loaded, through = read_checkpoint(tmp_path)
+    assert through == 3
+    assert [(e.seq, e.request_id, e.decision) for e in loaded] == [
+        (e.seq, e.request_id, e.decision) for e in entries
+    ]
+    # Records at or below the watermark are checkpoint-covered: skipped.
+    assert records_to_entries([entries[0].job_record()], min_seq=through) == []
+
+
+def test_checkpoint_checksum_and_version_guards(tmp_path):
+    entries = _entries(1)
+    entries[0].decision = REJ
+    write_checkpoint(tmp_path, entries)
+    path = tmp_path / "checkpoint.json"
+
+    wrapper = json.loads(path.read_text())
+    wrapper["data"]["through_seq"] = 99  # tamper without re-hashing
+    path.write_text(json.dumps(wrapper))
+    with pytest.raises(WalCorruptionError):
+        read_checkpoint(tmp_path)
+
+    path.write_text("not json at all")
+    with pytest.raises(WalCorruptionError):
+        read_checkpoint(tmp_path)
+
+    missing = tmp_path / "fresh"
+    missing.mkdir()
+    assert read_checkpoint(missing) == ([], 0)
+
+
+def test_partial_write_failpoint_tears_exactly_one_append(tmp_path):
+    entries = _entries(2)
+    wal = WriteAheadLog(tmp_path)
+    wal.append_jobs(entries)
+    wal.partial_write_after = 1
+    with pytest.raises(OSError):
+        wal.append_decisions([1, 2], [DEC, REJ])
+    wal.abandon()
+
+    records, truncated = read_wal(tmp_path / "wal.log", repair=True)
+    assert truncated > 0  # the torn decision frame
+    loaded = records_to_entries(records)
+    assert [e.decision for e in loaded] == [None, None]  # jobs survive, undecided
+
+
+def test_crc_framing_rejects_bit_rot(tmp_path):
+    body = json.dumps({"k": "dec", "seqs": [], "dec": []}).encode()
+    line = b"%08x " % (zlib.crc32(body) & 0xFFFFFFFF) + body + b"\n"
+    path = tmp_path / "wal.log"
+    path.write_bytes(line)
+    records, _ = read_wal(path)
+    assert records == [{"k": "dec", "seqs": [], "dec": []}]
+    path.write_bytes(b"00000000 " + body + b"\n" + line)
+    with pytest.raises(WalCorruptionError):
+        read_wal(path)
