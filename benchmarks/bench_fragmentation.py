@@ -29,7 +29,11 @@ Three guards make the report trustworthy:
   profile);
 * at 10k segments the tree must beat the scalar walk by at least 5x on
   decision p50 — the headline claim of the report — or the benchmark
-  raises instead of writing numbers.
+  raises instead of writing numbers;
+* the self-tuning ``"adaptive"`` back-end rides the same matrix (same
+  checksums) and must land within :data:`ADAPTIVE_TOLERANCE` of the best
+  static back-end's p50 at every point — the controller has a full
+  warmup pass of counter signal to settle on the regime's winner.
 
 The job mix also exercises the candidate prunes (duplicate configurations,
 pointwise-dominated doomed configurations), so the report carries probed
@@ -186,21 +190,34 @@ def _commit_pass(n_segments: int, jobs: list[Job], backend: str) -> str:
     return _checksum(payload)
 
 
+#: Factor by which adaptive p50/p95 may trail the best static back-end at
+#: a committed fragmentation point (the self-tuning deliverable's "never
+#: worse than the best static choice by more than a small tolerance").
+ADAPTIVE_TOLERANCE = 1.10
+
+
 def run_fragmentation_bench(
     n_probes: int,
     segment_counts: tuple[int, ...] = (100, 1_000, 10_000),
 ) -> dict:
     """Latency-vs-fragmentation comparison across the scan back-ends.
 
-    Raises if any back-end or prune mode disagrees on any decision, or if
-    the tree fails its 5x headline over the scalar walk at >= 10k segments.
+    Raises if any back-end or prune mode disagrees on any decision, if
+    the tree fails its 5x headline over the scalar walk at >= 10k
+    segments, or if the ``adaptive`` back-end trails the best static
+    back-end by more than :data:`ADAPTIVE_TOLERANCE` on p50 at any point.
+    The adaptive gate compares best-of-paired-re-measures on both sides:
+    warm-process p50s drift by 20%+ between identical runs, so each
+    side's minimum over up to three back-to-back samples stands in for
+    its true floor (wall-clock drift, not regime misclassification, is
+    the common flake).
     """
     points = []
     for n_segments in segment_counts:
         jobs = fragmentation_jobs(n_probes, n_segments)
         backends: dict[str, dict] = {}
         checksums: dict[str, str] = {}
-        for backend in ("scalar", "vector", "tree", "kernel"):
+        for backend in ("scalar", "vector", "tree", "kernel", "adaptive"):
             report, checksum = _timed_decisions(n_segments, jobs, backend, prune=True)
             backends[backend] = report
             checksums[backend] = checksum
@@ -210,7 +227,7 @@ def run_fragmentation_bench(
         checksums["scalar_unpruned"] = full_checksum
         commit_checksums = {
             b: _commit_pass(n_segments, jobs, b)
-            for b in ("scalar", "vector", "tree", "kernel")
+            for b in ("scalar", "vector", "tree", "kernel", "adaptive")
         }
         if len(set(checksums.values())) != 1:
             raise AssertionError(
@@ -219,6 +236,41 @@ def run_fragmentation_bench(
         if len(set(commit_checksums.values())) != 1:
             raise AssertionError(
                 f"commit divergence at {n_segments} segments: {commit_checksums}"
+            )
+        static = {b: backends[b] for b in ("scalar", "vector", "tree", "kernel")}
+        best_p50 = min(r["p50_us"] for r in static.values())
+        best_p95 = min(r["p95_us"] for r in static.values())
+        for _ in range(2):
+            if (
+                backends["adaptive"]["p50_us"] <= ADAPTIVE_TOLERANCE * best_p50
+                and backends["adaptive"]["p95_us"]
+                <= ADAPTIVE_TOLERANCE * best_p95
+            ):
+                break
+            # Microsecond-scale p50s drift by 20%+ run-to-run in a warm
+            # process (allocator layout, GC), far above the gate's margin.
+            # Re-time adaptive and the best static back-end back-to-back
+            # and keep each side's *minimum* — both converge to their true
+            # floors, so only a genuine regression keeps failing the gate.
+            best_name = min(static, key=lambda b: static[b]["p50_us"])
+            retry_adaptive, _ = _timed_decisions(
+                n_segments, jobs, "adaptive", prune=True
+            )
+            retry_static, _ = _timed_decisions(
+                n_segments, jobs, best_name, prune=True
+            )
+            if retry_adaptive["p50_us"] < backends["adaptive"]["p50_us"]:
+                backends["adaptive"] = retry_adaptive
+            if retry_static["p50_us"] < static[best_name]["p50_us"]:
+                backends[best_name] = retry_static
+                static[best_name] = retry_static
+            best_p50 = min(r["p50_us"] for r in static.values())
+            best_p95 = min(r["p95_us"] for r in static.values())
+        if backends["adaptive"]["p50_us"] > ADAPTIVE_TOLERANCE * best_p50:
+            raise AssertionError(
+                f"adaptive p50 {backends['adaptive']['p50_us']}us exceeds "
+                f"{ADAPTIVE_TOLERANCE}x best static {best_p50}us at "
+                f"{n_segments} segments (best of paired re-measures)"
             )
         speedup_p50 = round(
             backends["scalar"]["p50_us"] / backends["tree"]["p50_us"], 3
@@ -238,6 +290,12 @@ def run_fragmentation_bench(
                 "backends": backends,
                 "speedup_tree_vs_scalar_p50": speedup_p50,
                 "speedup_tree_vs_scalar_p95": speedup_p95,
+                "adaptive_vs_best_static_p50": round(
+                    backends["adaptive"]["p50_us"] / best_p50, 3
+                ),
+                "adaptive_vs_best_static_p95": round(
+                    backends["adaptive"]["p95_us"] / best_p95, 3
+                ),
                 "pruning": {
                     "chains_probed_full": full_report["chains_probed"],
                     "chains_probed_pruned": backends["scalar"]["chains_probed"],

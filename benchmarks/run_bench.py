@@ -39,6 +39,17 @@ Two sections:
   ack), decisions checksummed across modes; at full scale the fsync'd
   service must stay within 2x of the recorded 100k/s direct floor (>=
   50k durable decisions/sec).
+* ``adaptive`` — the self-tuning back-end's regime-shift scenario
+  (:mod:`bench_adaptive`): one admission stream moving through backlog
+  growth -> fragmentation spike -> drain -> settled, run end-to-end under
+  every static scan back-end and under ``backend="adaptive"``, decisions
+  checksummed across all of them; at full scale the adaptive run must
+  strictly beat every static back-end's wall time.
+* ``perf_overhead`` — the always-on recorder's per-decision cost
+  (slotted counter bumps + one latency sample) micro-timed and compared
+  against the arrival section's decision p50; at full scale the overhead
+  must stay <= 2% of the decision p50, the budget that keeps the
+  counters cheap enough to drive the adaptive controller permanently.
 * ``reconfig`` — mid-execution malleability
   (:mod:`repro.resilience.reconfig`): an armed grow/shrink engine with a
   prohibitive reconfiguration cost on a zero-event trace must reproduce
@@ -81,6 +92,7 @@ from bench_profile_ops import (  # noqa: E402 - after sys.path bootstrap
 from bench_decision_throughput import (  # noqa: E402
     run_decision_throughput_bench,
 )
+from bench_adaptive import run_adaptive_bench  # noqa: E402
 from bench_fragmentation import run_fragmentation_bench  # noqa: E402
 from bench_service import run_service_bench  # noqa: E402
 from bench_sweep_runner import run_sweep_runner_bench  # noqa: E402
@@ -358,6 +370,64 @@ def run_reconfig_bench(
     }
 
 
+#: Recorder overhead budget: the always-on counters may cost at most this
+#: fraction of the decision p50 (the satellite guard for keeping them
+#: permanently enabled as the adaptive controller's signal source).
+PERF_OVERHEAD_BUDGET = 0.02
+
+
+def run_perf_overhead_bench(
+    decision_p50_us: float, n: int = 200_000, enforce: bool = True
+) -> dict:
+    """Micro-time the recorder work one admission decision performs.
+
+    Per decision the hot path pays one :meth:`PerfRecorder.note_decision`
+    (float add + list append) plus a handful of slotted counter bumps
+    from the schedulers and the schedule.  This times that bundle and
+    reports it as a fraction of the measured decision p50; with
+    ``enforce`` the fraction must clear :data:`PERF_OVERHEAD_BUDGET`
+    (one re-measure allowed — it is a nanosecond-scale wall-clock
+    sample).
+    """
+    from repro.perf import PerfRecorder
+
+    def measure() -> float:
+        rec = PerfRecorder()
+        t0 = time.perf_counter()
+        for _ in range(n):
+            # One decision's worth of recorder traffic: the latency
+            # sample plus representative hot-counter bumps (probe loop,
+            # prune accounting, the commit).
+            rec.chains_probed += 1
+            rec.chains_quick_rejected += 1
+            rec.chains_pruned_dominated += 1
+            rec.chains_area_rejected += 1
+            rec.commits += 1
+            rec.note_decision(1e-6)
+        return (time.perf_counter() - t0) / n * 1e6
+
+    per_decision_us = measure()
+    if enforce and per_decision_us > PERF_OVERHEAD_BUDGET * decision_p50_us:
+        per_decision_us = min(per_decision_us, measure())
+    overhead = (
+        per_decision_us / decision_p50_us if decision_p50_us > 0 else 0.0
+    )
+    if enforce and overhead > PERF_OVERHEAD_BUDGET:
+        raise AssertionError(
+            f"perf recorder overhead {per_decision_us:.3f}us/decision is "
+            f"{overhead:.2%} of the decision p50 {decision_p50_us}us "
+            f"(budget {PERF_OVERHEAD_BUDGET:.0%})"
+        )
+    return {
+        "iterations": n,
+        "recorder_us_per_decision": round(per_decision_us, 4),
+        "decision_p50_us": decision_p50_us,
+        "overhead_fraction": round(overhead, 5),
+        "budget_fraction": PERF_OVERHEAD_BUDGET,
+        "enforced": enforce,
+    }
+
+
 def generate(quick: bool = False) -> dict:
     """Run every section and return the report dict."""
     if quick:
@@ -374,6 +444,14 @@ def generate(quick: bool = False) -> dict:
             2_000, (100,), False,
         )
         service_jobs, service_floor = 400, False
+        adaptive_kwargs = dict(
+            n_segments=1_500,
+            spike_probes=150,
+            drain_steps=60,
+            settled_probes=80,
+            strict=False,
+        )
+        perf_overhead_enforced = False
     else:
         micro_n, area_n, area_resv, arrival_n = 10_000, 10_000, 2_000, 2_000
         sweep_n, sweep_values, sweep_workers = (
@@ -388,6 +466,9 @@ def generate(quick: bool = False) -> dict:
             20_000, (100, 1_000), True,
         )
         service_jobs, service_floor = 4_000, True
+        adaptive_kwargs = dict(strict=True)
+        perf_overhead_enforced = True
+    arrival = run_arrival_bench(arrival_n)
     return {
         "generated_by": "benchmarks/run_bench.py",
         "mode": "quick" if quick else "full",
@@ -400,11 +481,15 @@ def generate(quick: bool = False) -> dict:
                 run_area_query_bench, n_queries=area_n, n_reservations=area_resv
             ),
         },
-        "arrival": run_arrival_bench(arrival_n),
+        "arrival": arrival,
         "sweep": run_sweep_runner_bench(
             sweep_n, sweep_values, workers=sweep_workers
         ),
         "fragmentation": run_fragmentation_bench(frag_decisions, frag_counts),
+        "adaptive": run_adaptive_bench(**adaptive_kwargs),
+        "perf_overhead": run_perf_overhead_bench(
+            arrival["decision_p50_us"], enforce=perf_overhead_enforced
+        ),
         "decision_throughput": run_decision_throughput_bench(
             throughput_jobs, throughput_counts, enforce_floor=throughput_floor
         ),
@@ -457,6 +542,28 @@ def main(argv: list[str] | None = None) -> int:
             f"tree p50={point['backends']['tree']['p50_us']}us "
             f"({point['speedup_tree_vs_scalar_p50']}x), decisions identical"
         )
+    adaptive = report["adaptive"]
+    verdict = (
+        "beats all static"
+        if adaptive["adaptive_beats_all_static"]
+        else "does NOT beat all static"
+    )
+    print(
+        f"  adaptive regime-shift @ {adaptive['n_segments']} segments: "
+        f"adaptive={adaptive['runs']['adaptive']['seconds']}s vs best "
+        f"static {adaptive['best_static']}="
+        f"{adaptive['runs'][adaptive['best_static']]['seconds']}s "
+        f"({adaptive['adaptive_vs_best_static']}x, {verdict}), "
+        f"switches={adaptive['runs']['adaptive']['autotune']['autotune_switches']}, "
+        f"decisions identical"
+    )
+    overhead = report["perf_overhead"]
+    print(
+        f"  perf recorder overhead: "
+        f"{overhead['recorder_us_per_decision']}us/decision = "
+        f"{overhead['overhead_fraction']:.2%} of decision p50 "
+        f"(budget {overhead['budget_fraction']:.0%})"
+    )
     throughput = report["decision_throughput"]
     for point in throughput["points"]:
         modes = point["modes"]

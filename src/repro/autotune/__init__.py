@@ -1,0 +1,15 @@
+"""Self-tuning scheduler: online scan-backend selection (``"adaptive"``).
+
+See :mod:`repro.autotune.controller` for the meta-controller that closes
+the loop between the always-on :mod:`repro.perf` counters and the
+availability profile's scan back-end, and ``docs/adaptive.md`` for the
+signals, thresholds and the decision-identity argument.
+"""
+
+from repro.autotune.controller import (
+    SWITCHABLE_BACKENDS,
+    AdaptiveController,
+    AutotuneConfig,
+)
+
+__all__ = ["AdaptiveController", "AutotuneConfig", "SWITCHABLE_BACKENDS"]

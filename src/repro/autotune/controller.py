@@ -1,0 +1,359 @@
+"""The self-tuning scan-backend meta-controller.
+
+The four concrete scan back-ends of
+:class:`~repro.core.profile.AvailabilityProfile` trade off differently
+with the *regime* the schedule is in, not just with its size (the
+committed ``BENCH_sched.json`` fragmentation points): the scalar walk
+wins small profiles, the segment tree wins query-dominated fragmented
+profiles by an order of magnitude but pays O(S) lazy consolidation after
+every mutation, the compiled kernel wins mid-to-large profiles whenever
+probes and mutations alternate, and the vectorized scan is the large-S
+fallback when no C toolchain is present.  A static choice therefore
+loses whenever the regime shifts mid-run — backlog growth, a
+fragmentation spike, a drain.
+
+:class:`AdaptiveController` closes that loop online.  It is owned by a
+profile constructed with ``backend="adaptive"`` and consulted by
+:meth:`~repro.core.profile.AvailabilityProfile.scan_backend` on every
+query; it observes the always-on :class:`~repro.perf.ProfileStats`
+counters (live segment count, probe count, probe-segments-per-probe,
+mutation/compaction rate) plus the wall-clock decision-latency EWMA fed
+by the arbitrator, and re-evaluates its target back-end every
+:attr:`AutotuneConfig.eval_interval` probes.
+
+**Safety.**  Every concrete back-end returns bit-identical answers (the
+PR 4/7 equivalence contract, pinned per-case by the differential
+fuzzer), so the controller may consume nondeterministic wall-clock
+signals freely: whatever switch sequence it produces, decisions, fuzz
+digests, audit results and cache keys are unchanged.  The
+:meth:`AdaptiveController.force_backends` hook exploits the same fact in
+reverse — verification harnesses force *adversarial* switch schedules
+(including a different back-end for every single query) and assert the
+decision stream still matches every static back-end.
+
+**Hysteresis.**  Two mechanisms stop the controller from thrashing on a
+noisy boundary: a switch needs :attr:`AutotuneConfig.confirm` consecutive
+evaluations agreeing on the same new target, and after any switch the
+controller dwells on its choice for :attr:`AutotuneConfig.min_dwell`
+probes before it will consider another.  Entering the tree additionally
+uses an asymmetric criterion: the probe-depth signal that justifies the
+tree is measured in *scanned segments* on the linear back-ends but in
+*visited tree nodes* once the tree serves, so depth gates entry only;
+leaving the tree is triggered by the mutation-rate signal (or the
+profile shrinking), never by the depth collapsing to O(log S).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import kernels
+from repro.errors import ConfigurationError
+
+__all__ = ["AutotuneConfig", "AdaptiveController", "SWITCHABLE_BACKENDS"]
+
+#: The concrete back-ends the controller switches among (never ``"auto"``
+#: or ``"adaptive"`` — a resolved back-end must answer every query).
+SWITCHABLE_BACKENDS = ("scalar", "vector", "tree", "kernel")
+
+
+@dataclass(frozen=True, slots=True)
+class AutotuneConfig:
+    """Tuning knobs of the :class:`AdaptiveController`.
+
+    Defaults are calibrated against the committed ``BENCH_sched.json``
+    fragmentation and decision-throughput points; see ``docs/adaptive.md``
+    for the derivation of each threshold.
+    """
+
+    #: Probes between regime evaluations.  Between evaluations the
+    #: controller's per-query cost is one integer subtract and compare.
+    eval_interval: int = 32
+    #: Consecutive agreeing evaluations required before a switch commits.
+    confirm: int = 2
+    #: Probes the controller dwells on a fresh choice before considering
+    #: another switch (the anti-thrash floor).
+    min_dwell: int = 128
+    #: Below this many live segments every O(S) concern is noise and the
+    #: scalar walk's minimal constant wins (committed: scalar 37.9µs vs
+    #: kernel 63.5µs / vector 114.5µs p50 at 100 segments).
+    small_segments: int = 256
+    #: Scanned-segments-per-probe above which a linear scan is paying
+    #: enough per query for the tree's O(log S) descents to win (entry
+    #: criterion only — see the module docs on asymmetric hysteresis).
+    tree_min_depth: float = 24.0
+    #: Mutations (shifts + compactions) per probe above which the tree's
+    #: lazy consolidation bill exceeds its query savings.
+    mutation_ratio_max: float = 0.25
+    #: While the tree serves, this many mutations since the last
+    #: evaluation force an early one: each mutation dirties the index and
+    #: the next probe pays a reconsolidation, so waiting out the probe
+    #: sampling interval in a mutation burst (a drain's compaction per
+    #: arrival) bills O(S) per probe for the whole lag.  Checked only on
+    #: the tree path — the linear back-ends don't care.
+    tree_exit_mutations: int = 4
+    #: Smoothing factor of the wall-clock decision-latency EWMA.
+    ewma_alpha: float = 0.2
+    #: A decision slower than this multiple of the EWMA forces a regime
+    #: re-evaluation at the next probe instead of waiting out the
+    #: sampling interval (dwell and confirmation still apply).
+    latency_spike_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.eval_interval < 1 or self.confirm < 1 or self.min_dwell < 0:
+            raise ConfigurationError(
+                "eval_interval/confirm must be >= 1 and min_dwell >= 0, got "
+                f"{self.eval_interval}/{self.confirm}/{self.min_dwell}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.tree_exit_mutations < 1:
+            raise ConfigurationError(
+                f"tree_exit_mutations must be >= 1, got "
+                f"{self.tree_exit_mutations}"
+            )
+
+
+class AdaptiveController:
+    """Online scan-backend selector driven by the perf counters.
+
+    One controller is owned by each ``backend="adaptive"`` profile (see
+    :attr:`~repro.core.profile.AvailabilityProfile.autotune`) and survives
+    capacity-change schedule swaps via
+    :meth:`~repro.core.profile.AvailabilityProfile.adopt_autotune`.
+    All methods are hot-path cheap; the full evaluation runs only once
+    per :attr:`AutotuneConfig.eval_interval` probes.
+    """
+
+    __slots__ = (
+        "config",
+        "_current",
+        "_pending",
+        "_streak",
+        "_eval_probes",
+        "_eval_probe_segments",
+        "_eval_mutations",
+        "_dwell_until",
+        "_forced",
+        "_forced_pos",
+        "switches",
+        "evals",
+        "switch_log",
+        "decisions",
+        "decision_ewma_s",
+    )
+
+    def __init__(
+        self,
+        config: AutotuneConfig | None = None,
+        initial: str = "scalar",
+    ) -> None:
+        if initial not in SWITCHABLE_BACKENDS:
+            raise ConfigurationError(
+                f"initial backend must be one of {SWITCHABLE_BACKENDS}, "
+                f"got {initial!r}"
+            )
+        self.config = config if config is not None else AutotuneConfig()
+        self._current = initial
+        self._pending: str | None = None
+        self._streak = 0
+        # Counter baselines of the current evaluation window.
+        self._eval_probes = 0
+        self._eval_probe_segments = 0
+        self._eval_mutations = 0
+        self._dwell_until = 0
+        self._forced: tuple[str, ...] | None = None
+        self._forced_pos = 0
+        #: Committed switches / evaluations run (telemetry).
+        self.switches = 0
+        self.evals = 0
+        #: ``(probe_count, from, to)`` per committed switch.
+        self.switch_log: list[tuple[int, str, str]] = []
+        self.decisions = 0
+        self.decision_ewma_s = 0.0
+
+    # ------------------------------------------------------------------
+    # The per-query hot path
+    # ------------------------------------------------------------------
+
+    @property
+    def current(self) -> str:
+        """Back-end currently serving queries."""
+        return self._current
+
+    def backend_for(self, profile) -> str:
+        """Resolve the back-end answering this query (never ``"auto"``).
+
+        Called by :meth:`AvailabilityProfile.scan_backend` on every query
+        of an adaptive profile.  Cheap between evaluations: one subtract
+        and compare against the profile's probe counter.
+        """
+        forced = self._forced
+        if forced is not None:
+            pos = self._forced_pos
+            self._forced_pos = pos + 1
+            return forced[pos % len(forced)]
+        stats = profile.stats
+        delta = stats.probes - self._eval_probes
+        if delta >= self.config.eval_interval:
+            self._evaluate(stats, len(profile))
+        elif delta < 0:
+            # The stats were reset (or the controller was rebound onto a
+            # fresh profile without rebind()): re-baseline, keep the choice.
+            self._rebase(stats)
+        elif self._current == "tree" and (
+            stats.shift_ops + stats.compactions - self._eval_mutations
+            >= self.config.tree_exit_mutations
+        ):
+            # Mutation burst while the tree serves: every mutation
+            # dirties the index, so don't wait out the probe interval.
+            self._evaluate(stats, len(profile))
+        return self._current
+
+    def _rebase(self, stats) -> None:
+        self._eval_probes = stats.probes
+        self._eval_probe_segments = stats.probe_segments
+        self._eval_mutations = stats.shift_ops + stats.compactions
+        self._dwell_until = min(self._dwell_until, stats.probes)
+
+    def _evaluate(self, stats, n_segments: int) -> None:
+        cfg = self.config
+        d_probes = stats.probes - self._eval_probes
+        d_depth = stats.probe_segments - self._eval_probe_segments
+        mutations = stats.shift_ops + stats.compactions
+        d_mutations = mutations - self._eval_mutations
+        self._eval_probes = stats.probes
+        self._eval_probe_segments = stats.probe_segments
+        self._eval_mutations = mutations
+        self.evals += 1
+        target = self._target(n_segments, d_probes, d_depth, d_mutations)
+        if target == self._current:
+            self._pending = None
+            self._streak = 0
+            return
+        if stats.probes < self._dwell_until:
+            return  # recently switched: hold the choice
+        if target == self._pending:
+            self._streak += 1
+        else:
+            self._pending = target
+            self._streak = 1
+        if self._streak >= cfg.confirm:
+            self.switch_log.append((stats.probes, self._current, target))
+            self._current = target
+            self._pending = None
+            self._streak = 0
+            self._dwell_until = stats.probes + cfg.min_dwell
+            self.switches += 1
+
+    def _target(
+        self, n_segments: int, d_probes: int, d_depth: int, d_mutations: int
+    ) -> str:
+        """The back-end the last window's regime calls for."""
+        from repro.core.profile import KERNEL_MIN_SEGMENTS, VECTOR_MIN_SEGMENTS
+
+        cfg = self.config
+        if n_segments < cfg.small_segments:
+            return "scalar"
+        mutation_ratio = d_mutations / d_probes if d_probes else 1.0
+        if mutation_ratio <= cfg.mutation_ratio_max:
+            depth = d_depth / d_probes if d_probes else 0.0
+            # Depth gates *entry* only: once the tree serves, probe
+            # depth is measured in visited tree nodes (O(log S)) and no
+            # longer says anything about what a linear scan would cost.
+            if self._current == "tree" or depth >= cfg.tree_min_depth:
+                return "tree"
+        if (
+            n_segments >= KERNEL_MIN_SEGMENTS
+            and kernels.kernel_backend() == "compiled"
+        ):
+            return "kernel"
+        if n_segments >= VECTOR_MIN_SEGMENTS:
+            return "vector"
+        return "scalar"
+
+    # ------------------------------------------------------------------
+    # Latency feedback (arbitrator-fed)
+    # ------------------------------------------------------------------
+
+    def observe_decision(self, seconds: float) -> None:
+        """Feed one wall-clock admission-decision latency sample.
+
+        Maintains the EWMA and, on a spike beyond
+        :attr:`AutotuneConfig.latency_spike_factor` times the running
+        average, schedules an immediate regime re-evaluation at the next
+        probe (the counters, not the latency, decide the new target).
+        """
+        self.decisions += 1
+        ewma = self.decision_ewma_s
+        if ewma == 0.0:
+            self.decision_ewma_s = seconds
+            return
+        cfg = self.config
+        self.decision_ewma_s = ewma + cfg.ewma_alpha * (seconds - ewma)
+        if seconds > cfg.latency_spike_factor * ewma:
+            self._eval_probes -= cfg.eval_interval
+
+    def observe_batch(self, n_jobs: int, seconds: float) -> None:
+        """Feed one batched-admission latency sample (amortized per job)."""
+        if n_jobs > 0:
+            self.observe_decision(seconds / n_jobs)
+
+    # ------------------------------------------------------------------
+    # Lifecycle / verification hooks
+    # ------------------------------------------------------------------
+
+    def rebind(self, profile) -> None:
+        """Re-baseline onto ``profile``'s (typically fresh) counters.
+
+        Called when the controller is transplanted across a capacity-change
+        schedule swap (:meth:`AvailabilityProfile.adopt_autotune`): the
+        chosen back-end, latency EWMA and switch history survive; the
+        evaluation window restarts from the new profile's counter values.
+        """
+        self._rebase(profile.stats)
+        self._dwell_until = profile.stats.probes
+        self._pending = None
+        self._streak = 0
+
+    def force_backends(self, schedule) -> None:
+        """Override the controller with a fixed switch schedule (fuzzing).
+
+        ``schedule`` is a sequence drawn from :data:`SWITCHABLE_BACKENDS`;
+        query ``k`` (every ``scan_backend`` resolution, i.e. at finer than
+        per-decision granularity) is served by ``schedule[k % len]``.
+        Decisions must be bit-identical under *any* forced schedule —
+        that is the invariant the adversarial-switch fuzz mode pins.
+        An empty sequence restores normal adaptive operation.
+        """
+        seq = tuple(schedule)
+        for name in seq:
+            if name not in SWITCHABLE_BACKENDS:
+                raise ConfigurationError(
+                    f"forced backend must be one of {SWITCHABLE_BACKENDS}, "
+                    f"got {name!r}"
+                )
+        self._forced = seq or None
+        self._forced_pos = 0
+
+    @property
+    def forced(self) -> tuple[str, ...] | None:
+        """The active forced switch schedule, if any."""
+        return self._forced
+
+    def snapshot(self) -> dict[str, float | int | str]:
+        """Telemetry block merged into ``Schedule.perf_snapshot()``."""
+        return {
+            "autotune_backend": self._current,
+            "autotune_switches": self.switches,
+            "autotune_evals": self.evals,
+            "autotune_decision_ewma_us": self.decision_ewma_s * 1e6,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AdaptiveController(current={self._current!r}, "
+            f"switches={self.switches}, evals={self.evals})"
+        )

@@ -17,6 +17,7 @@ of applications.
 from __future__ import annotations
 
 import random
+import time
 from enum import Enum
 from typing import Sequence
 
@@ -208,6 +209,12 @@ class QoSArbitrator:
         the post-change profile.  Admission/quality counters are *not*
         reset — they describe the whole run, not one capacity epoch.
         """
+        old = self.schedule.profile.autotune
+        if old is not None and schedule.profile.backend == "adaptive":
+            # Carry the adaptive controller across the capacity epoch so
+            # hysteresis state (current backend, dwell, EWMA) survives the
+            # rebuild instead of restarting cold on every fault.
+            schedule.profile.adopt_autotune(old)
         self.schedule = schedule
         self.scheduler.schedule = schedule
 
@@ -217,16 +224,25 @@ class QoSArbitrator:
         Jobs must be submitted in non-decreasing release order when profile
         compaction is enabled (the default), matching an arrival process.
         Each call records one wall-clock ``decision`` latency sample on
-        :attr:`Schedule.perf <repro.core.schedule.Schedule.perf>`.
+        :attr:`Schedule.perf <repro.core.schedule.Schedule.perf>` and, when
+        the profile runs ``backend="adaptive"``, feeds the same sample to
+        the autotune controller's latency EWMA.
         """
         self._quality_possible += job.best_quality(self.quality_composition)
-        with self.schedule.perf.timed("decision"):
+        t0 = time.perf_counter()
+        try:
             if self.objective is ArbitrationObjective.EARLIEST_FINISH:
                 decision = self.admission.offer(job)
             elif self.objective is ArbitrationObjective.MAX_QUALITY:
                 decision = self._offer_max_quality(job)
             else:  # pragma: no cover - closed enum
                 raise ConfigurationError(f"unknown objective {self.objective!r}")
+        finally:
+            dt = time.perf_counter() - t0
+            self.schedule.perf.note_decision(dt)
+            autotune = self.schedule.profile.autotune
+            if autotune is not None:
+                autotune.observe_decision(dt)
         if decision.admitted and decision.placement is not None:
             self._quality_sum += chain_quality(
                 decision.placement.chain, self.quality_composition
@@ -265,8 +281,9 @@ class QoSArbitrator:
         if not jobs:
             return []
         perf = self.schedule.perf
-        perf.count("batch_jobs", len(jobs))
-        with perf.timed("decision_batch"):
+        perf.batch_jobs += len(jobs)
+        t0 = time.perf_counter()
+        try:
             earliest = self.objective is ArbitrationObjective.EARLIEST_FINISH
             fast_eligible = (
                 earliest
@@ -277,7 +294,7 @@ class QoSArbitrator:
                 decisions = kernel_batch.try_admit_batch_compiled(self, jobs)
                 if decisions is not None:
                     return decisions
-            perf.count("batch_fallbacks")
+            perf.batch_fallbacks += 1
             skips = (
                 kernel_batch.prescreen_skips(self, jobs) if earliest else None
             )
@@ -298,6 +315,12 @@ class QoSArbitrator:
                     )
                 out.append(decision)
             return out
+        finally:
+            dt = time.perf_counter() - t0
+            perf.observe("decision_batch", dt)
+            autotune = self.schedule.profile.autotune
+            if autotune is not None:
+                autotune.observe_batch(len(jobs), dt)
 
     def resubmit(self, job: Job) -> AdmissionDecision:
         """Re-offer a job already counted rejected by :meth:`submit`.
@@ -311,11 +334,18 @@ class QoSArbitrator:
         rejection is removed and the admission recorded as usual; on
         failure all counters are left exactly as :meth:`submit` set them.
         """
-        with self.schedule.perf.timed("decision"):
+        t0 = time.perf_counter()
+        try:
             if self.objective is ArbitrationObjective.EARLIEST_FINISH:
                 decision = self.admission.offer(job)
             else:
                 decision = self._offer_max_quality(job)
+        finally:
+            dt = time.perf_counter() - t0
+            self.schedule.perf.note_decision(dt)
+            autotune = self.schedule.profile.autotune
+            if autotune is not None:
+                autotune.observe_decision(dt)
         if decision.admitted and decision.placement is not None:
             self.admission.rejected -= 1  # the provisional rejection
             self._quality_sum += chain_quality(
@@ -352,9 +382,7 @@ class QoSArbitrator:
             best_q: float | None = None
             for pos, idx in enumerate(order):
                 if best_q is not None and qualities[idx] < best_q - 1e-12:
-                    self.schedule.perf.count(
-                        "chains_pruned_quality", len(order) - pos
-                    )
+                    self.schedule.perf.chains_pruned_quality += len(order) - pos
                     break
                 cp = probe(idx)
                 if cp is not None:

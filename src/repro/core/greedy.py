@@ -263,7 +263,7 @@ class GreedyScheduler:
 
         def probe(idx: int) -> ChainPlacement | None:
             if idx in skip:
-                perf.count("chains_prescreen_skipped")
+                perf.chains_prescreen_skipped += 1
                 return None
             chain = job.chains[idx]
             if use_dup:
@@ -273,18 +273,18 @@ class GreedyScheduler:
                     # that outcome was a placement, the earlier copy wins
                     # every deterministic tie-break (duplicates share
                     # quality, so ties resolve to the lower index).
-                    perf.count("chains_pruned_dominated")
+                    perf.chains_pruned_dominated += 1
                     return None
                 seen.add(key)
             if use_dom and failed and self._harder_than_failed(chain, failed):
-                perf.count("chains_pruned_dominated")
+                perf.chains_pruned_dominated += 1
                 return None
-            perf.count("chains_probed")
+            perf.chains_probed += 1
             if self._quick_reject(chain):
-                perf.count("chains_quick_rejected")
+                perf.chains_quick_rejected += 1
                 return None
             if self._area_reject(chain, release):
-                perf.count("chains_area_rejected")
+                perf.chains_area_rejected += 1
                 if use_dom:
                     failed.append(chain)
                 return None

@@ -155,7 +155,7 @@ class MalleableScheduler(GreedyScheduler):
         perf = self.schedule.perf
         for procs in range(width_cap, width_floor - 1, -1):
             duration = area / procs
-            perf.count("reshape_probes")
+            perf.reshape_probes += 1
             start = earliest_fit(profile, procs, duration, earliest, deadline)
             if start is None:
                 continue

@@ -48,7 +48,7 @@ difference between ~500µs and ~30µs per probe on a 10k-segment profile.
 
 Scan back-ends
 --------------
-Three interchangeable back-ends answer fit/min/area queries, selected by
+Four interchangeable back-ends answer fit/min/area queries, selected by
 the ``backend`` constructor argument (resolved per query by
 :meth:`scan_backend`):
 
@@ -60,17 +60,29 @@ the ``backend`` constructor argument (resolved per query by
   mirrors (built lazily, kept fresh by O(1) dirty marks from ``_shift`` /
   ``compact`` plus lazy suffix consolidation), giving O(log S) descents
   that skip whole subtrees — sublinear in fragmentation;
-* ``"auto"`` (default) — scalar below :data:`VECTOR_MIN_SEGMENTS`, vector
-  beyond.
+* ``"kernel"`` — the scalar walk ported to C (:mod:`repro.core.kernels`),
+  with a bit-identical numpy fallback when no compiled kernel is loaded;
+* ``"auto"`` (default) — a static size-only rule: scalar below
+  :data:`VECTOR_MIN_SEGMENTS`, vector beyond — or the compiled kernel
+  from :data:`KERNEL_MIN_SEGMENTS` up when one is loaded;
+* ``"adaptive"`` — a self-tuning meta-controller
+  (:class:`repro.autotune.AdaptiveController`, owned by the profile as
+  :attr:`~AvailabilityProfile.autotune`) that watches the always-on
+  :class:`~repro.perf.ProfileStats` counters and switches among the four
+  concrete back-ends per *regime* — segment count, probe depth and
+  probe-to-mutation ratio — with hysteresis.  See ``docs/adaptive.md``.
 
 ``"auto"`` deliberately never selects the tree: whether the tree wins
-depends on the probe-to-mutation ratio, which the profile cannot observe,
-not on the segment count alone.  Query-dominated fragmented regimes
-(admission control near saturation, where most submissions probe far and
-commit rarely) should opt in explicitly — that is where the descents are
-orders of magnitude ahead; mutation-heavy streams with random reservation
-positions pay O(S) tree consolidation per op and should not.  See
-``docs/perf.md`` for the measured crossovers.
+depends on the probe-to-mutation ratio, which a size-only rule cannot
+observe, not on the segment count alone.  Query-dominated fragmented
+regimes (admission control near saturation, where most submissions probe
+far and commit rarely) should opt in explicitly — that is where the
+descents are orders of magnitude ahead; mutation-heavy streams with
+random reservation positions pay O(S) tree consolidation per op and
+should not.  ``"adaptive"`` *can* observe that ratio and does select the
+tree when it pays.  Every back-end returns bit-identical answers, so the
+choice — static or switched mid-run — never changes a scheduling
+decision.  See ``docs/perf.md`` for the measured crossovers.
 """
 
 from __future__ import annotations
@@ -90,13 +102,14 @@ from repro.perf import ProfileStats
 __all__ = [
     "AvailabilityProfile",
     "PROFILE_BACKENDS",
+    "KERNEL_MIN_SEGMENTS",
     "TREE_MIN_SEGMENTS",
     "VECTOR_MIN_SEGMENTS",
     "resolve_auto_backend",
 ]
 
 #: Valid values for the ``backend`` constructor argument.
-PROFILE_BACKENDS = ("auto", "scalar", "vector", "tree", "kernel")
+PROFILE_BACKENDS = ("auto", "adaptive", "scalar", "vector", "tree", "kernel")
 
 #: Segment count below which the scalar walk beats the vectorized scan's
 #: fixed per-call numpy overhead.  The committed fragmentation benchmark
@@ -115,20 +128,45 @@ VECTOR_MIN_SEGMENTS = 2048
 #: clearly beat both O(S) scans on *query-dominated* workloads (measured in
 #: ``benchmarks/bench_fragmentation.py``; the CI smoke asserts the win at
 #: 1000 segments).  Advisory: ``"auto"`` never selects the tree — see the
-#: module docs — so opting in is an explicit deployment choice.
+#: module docs — so opting in is an explicit deployment choice (or the
+#: ``"adaptive"`` controller's, which *can* observe the probe-to-mutation
+#: ratio the tree's profitability depends on).
 TREE_MIN_SEGMENTS = 1000
 
+#: Segment count from which the *compiled* ``"kernel"`` back-end beats the
+#: scalar walk on serial decisions.  The committed decision-throughput
+#: data (``BENCH_sched.json``) puts serial-kernel *behind* serial-python
+#: at 100 segments (13.5k vs 16.1k decisions/s — the ctypes call overhead
+#: loses on a short walk) and ahead at 1000 (15.4k vs 9.6k/s), and the
+#: fragmentation points agree (kernel p50 63.5µs vs scalar 37.9µs at 100
+#: segments; 65.6µs vs 89.8µs at 1000).  The crossover therefore sits in
+#: (100, 1000]; 512 splits the bracket
+#: (``tests/core/test_auto_backend.py`` pins it against the committed
+#: data).  Only meaningful when the compiled kernel is loaded — the
+#: pure-Python kernel fallback never beats the walk it mirrors.
+KERNEL_MIN_SEGMENTS = 512
 
-def resolve_auto_backend(n_segments: int) -> str:
+
+def resolve_auto_backend(n_segments: int, kernel_compiled: bool | None = None) -> str:
     """The back-end ``"auto"`` picks for a profile of ``n_segments``.
 
-    Scalar below :data:`VECTOR_MIN_SEGMENTS`, vector from there up.
-    ``"auto"`` deliberately never resolves to ``"tree"`` or ``"kernel"``
-    (explicit opt-ins: the tree trades mutation cost for query cost, the
-    kernel needs a C toolchain) — the contract tested against the
-    committed benchmark data is merely that auto is never the *worst*
-    scan at any committed fragmentation point.
+    With the compiled decision kernel loaded, ``"kernel"`` from
+    :data:`KERNEL_MIN_SEGMENTS` up (at every committed point at or past
+    the crossover the compiled scan beats both Python scans, vector
+    included); otherwise scalar below :data:`VECTOR_MIN_SEGMENTS` and
+    vector from there up.  ``kernel_compiled=None`` (the default) asks
+    the kernel layer; tests pass an explicit value to pin both regimes.
+
+    ``"auto"`` deliberately never resolves to ``"tree"``: whether the
+    tree wins depends on the probe-to-mutation ratio, which a size-only
+    resolver cannot observe (that is what ``backend="adaptive"`` is for).
+    The contract tested against the committed benchmark data is that auto
+    is never the *worst* scan at any committed fragmentation point.
     """
+    if kernel_compiled is None:
+        kernel_compiled = kernels.kernel_backend() == "compiled"
+    if kernel_compiled and n_segments >= KERNEL_MIN_SEGMENTS:
+        return "kernel"
     return "vector" if n_segments >= VECTOR_MIN_SEGMENTS else "scalar"
 
 
@@ -159,6 +197,7 @@ class AvailabilityProfile:
         "_np_avail",
         "_backend",
         "_segtree",
+        "_autotune",
         "stats",
     )
 
@@ -195,6 +234,14 @@ class AvailabilityProfile:
         #: segment-tree index used when it resolves to ``"tree"``.
         self._backend = backend
         self._segtree: SegmentTreeIndex | None = None
+        #: The ``"adaptive"`` back-end's meta-controller (None otherwise).
+        #: Imported lazily: :mod:`repro.autotune` reads this module's
+        #: thresholds, so a top-level import would be circular.
+        self._autotune = None
+        if backend == "adaptive":
+            from repro.autotune import AdaptiveController
+
+            self._autotune = AdaptiveController()
         #: Always-on operation counters (see :class:`repro.perf.ProfileStats`).
         self.stats = ProfileStats()
 
@@ -262,6 +309,15 @@ class AvailabilityProfile:
         new._np_avail = None
         new._backend = self._backend
         new._segtree = None
+        new._autotune = None
+        if self._autotune is not None:
+            from repro.autotune import AdaptiveController
+
+            # Fresh controller (stats are fresh too), but start it on the
+            # source's current choice so the copy resumes where it was.
+            new._autotune = AdaptiveController(
+                self._autotune.config, initial=self._autotune.current
+            )
         new.stats = ProfileStats()
         return new
 
@@ -337,19 +393,48 @@ class AvailabilityProfile:
         return times_m, avail_m
 
     def scan_backend(self) -> str:
-        """Resolve the back-end answering the next query (never ``"auto"``).
+        """Resolve the back-end answering the next query (one of the four
+        concrete scans — never ``"auto"`` or ``"adaptive"``).
 
-        An explicit constructor choice wins; ``"auto"`` picks scalar or
-        vector by live segment count (see the module docs for why it never
-        picks the tree), and profile classes that disable
-        :attr:`VECTORIZED_SCAN` always walk scalar.
+        An explicit constructor choice wins; ``"adaptive"`` asks the
+        profile's :attr:`autotune` controller (which may switch per
+        regime); ``"auto"`` picks by live segment count (see the module
+        docs for why it never picks the tree), and profile classes that
+        disable :attr:`VECTORIZED_SCAN` always walk scalar.
         """
         backend = self._backend
+        if backend == "adaptive":
+            return self._autotune.backend_for(self)
         if backend != "auto":
             return backend
         if not self.VECTORIZED_SCAN:
             return "scalar"
         return resolve_auto_backend(len(self._times))
+
+    @property
+    def autotune(self):
+        """The ``"adaptive"`` back-end's controller, or ``None``.
+
+        See :class:`repro.autotune.AdaptiveController`.
+        """
+        return self._autotune
+
+    def adopt_autotune(self, controller) -> None:
+        """Transplant an existing adaptive controller onto this profile.
+
+        Used when a capacity change rebuilds the :class:`Schedule` on a
+        new machine size: the replacement profile keeps the predecessor's
+        learned back-end choice, latency EWMA and switch history instead
+        of re-learning from scratch.  Only valid on an ``"adaptive"``
+        profile; the controller re-baselines onto this profile's counters.
+        """
+        if self._backend != "adaptive":
+            raise ConfigurationError(
+                f"adopt_autotune requires backend='adaptive', "
+                f"got {self._backend!r}"
+            )
+        self._autotune = controller
+        controller.rebind(self)
 
     def _tree(self) -> SegmentTreeIndex:
         """The consolidated segment-tree index (built on first use)."""

@@ -139,12 +139,12 @@ class Schedule:
                 self.profile.reserve(pl.start, pl.end, pl.processors)
                 applied.append(pl)
         except Exception:
-            self.perf.count("commit_failures")
+            self.perf.commit_failures += 1
             for pl in reversed(applied):
                 self.profile.release(pl.start, pl.end, pl.processors)
             raise
         self.record_commit(cp)
-        self.perf.count("commits")
+        self.perf.commits += 1
 
     def record_commit(self, cp: ChainPlacement) -> None:
         """Book-keep a committed chain placement (no profile mutation).
@@ -197,7 +197,7 @@ class Schedule:
                 self._last_finish = (
                     max(self._finishes) if self._finishes else -math.inf
                 )
-        self.perf.count("rollbacks")
+        self.perf.rollbacks += 1
 
     def rollback_tail(self, cp: ChainPlacement, cut: float) -> None:
         """Release the portion of ``cp``'s reservations at or after ``cut``.
@@ -248,7 +248,7 @@ class Schedule:
         self._finishes[cut] += 1
         if cp.finish == self._last_finish:
             self._last_finish = max(self._finishes)
-        self.perf.count("tail_rollbacks")
+        self.perf.tail_rollbacks += 1
 
     def restore_tail(self, cp: ChainPlacement, cut: float) -> None:
         """Exact inverse of :meth:`rollback_tail` at the same ``cut``.
@@ -293,7 +293,7 @@ class Schedule:
         self._finishes[cp.finish] += 1
         if self._finishes:
             self._last_finish = max(self._finishes)
-        self.perf.count("tail_restores")
+        self.perf.tail_restores += 1
 
     def adopt_carried(self, cp: ChainPlacement, cut: float) -> None:
         """Re-reserve the remaining (post-``cut``) portion of ``cp`` here.
@@ -337,7 +337,7 @@ class Schedule:
             self._first_release = cp.release
         if cp.finish > self._last_finish:
             self._last_finish = cp.finish
-        self.perf.count("carries")
+        self.perf.carries += 1
 
     def compact(self, before: float) -> None:
         """Forget profile structure before ``before`` (see profile docs).
@@ -356,12 +356,18 @@ class Schedule:
 
         Profile counters come through prefixed with ``profile_``; the
         current segment count rides along as ``profile_segments`` (a proxy
-        for live-allocation fragmentation).  See :mod:`repro.perf`.
+        for live-allocation fragmentation).  When the profile runs
+        ``backend="adaptive"`` the autotune controller's telemetry
+        (``autotune_backend``, ``autotune_switches``, ...) rides along
+        too.  See :mod:`repro.perf` and :mod:`repro.autotune`.
         """
         out = self.perf.snapshot()
         for name, value in self.profile.stats.as_dict().items():
             out[f"profile_{name}"] = value
         out["profile_segments"] = len(self.profile)
+        autotune = self.profile.autotune
+        if autotune is not None:
+            out.update(autotune.snapshot())
         return out
 
     # ------------------------------------------------------------------

@@ -89,37 +89,107 @@ class ProfileStats:
         return f"ProfileStats({body})"
 
 
+#: Counter names bumped on the admission hot path.  Each is a dedicated
+#: slot on :class:`PerfRecorder`, so the hot sites (schedulers, schedule,
+#: arbitrator) increment them with a bare ``recorder.name += 1`` — no
+#: dict hashing, no string lookup per decision.  ``count()`` routes these
+#: names to their slots, so call sites that prefer the generic API (and
+#: the compiled batch kernel's counter write-back) stay correct.
+HOT_COUNTERS = (
+    "commits",
+    "commit_failures",
+    "rollbacks",
+    "tail_rollbacks",
+    "tail_restores",
+    "carries",
+    "reshape_probes",
+    "chains_probed",
+    "chains_quick_rejected",
+    "chains_area_rejected",
+    "chains_pruned_dominated",
+    "chains_pruned_quality",
+    "chains_prescreen_skipped",
+    "batch_jobs",
+    "batch_fallbacks",
+)
+
+_HOT_SET = frozenset(HOT_COUNTERS)
+
+
 class PerfRecorder:
-    """Named counters, accumulated wall-time, and latency sample streams.
+    """Slotted hot-path counters, wall-time totals, latency sample streams.
 
     One recorder lives on each :class:`~repro.core.schedule.Schedule`; the
-    schedulers and the arbitrator share it.  All methods are cheap enough
-    for per-arrival use; latency streams store one float per observation
-    (one per job submission in the simulator), which is negligible at the
-    paper's 10,000-arrival scale.
+    schedulers and the arbitrator share it.  The per-decision cost is a
+    handful of slotted attribute adds plus one list append for the
+    ``decision`` latency sample (see :meth:`note_decision`); everything
+    dict-shaped — merging, percentiles, the flat report — happens lazily
+    in :meth:`snapshot`, off the hot path.  The ``run_bench.py``
+    ``perf_overhead`` section guards the total at <= 2% of the decision
+    p50.  Latency streams store one float per observation (one per job
+    submission in the simulator), negligible at the paper's
+    10,000-arrival scale.
     """
 
-    __slots__ = ("counters", "timings", "latencies")
+    __slots__ = HOT_COUNTERS + (
+        "decision_total_s",
+        "_decision_samples",
+        "_extra",
+        "timings",
+        "latencies",
+    )
 
     def __init__(self) -> None:
-        self.counters: dict[str, int] = {}
-        self.timings: dict[str, float] = {}
-        self.latencies: dict[str, list[float]] = {}
+        self.reset()
 
     def reset(self) -> None:
         """Drop all recorded data."""
-        self.counters.clear()
-        self.timings.clear()
-        self.latencies.clear()
+        for name in HOT_COUNTERS:
+            setattr(self, name, 0)
+        #: Accumulated ``decision`` latency (seconds) and its samples.
+        self.decision_total_s = 0.0
+        self._decision_samples: list[float] = []
+        #: Cold-path counters by name (anything not in :data:`HOT_COUNTERS`).
+        self._extra: dict[str, int | float] = {}
+        self.timings: dict[str, float] = {}
+        self.latencies: dict[str, list[float]] = {}
 
     # ------------------------------------------------------------------
 
-    def count(self, name: str, n: int = 1) -> None:
+    @property
+    def counters(self) -> dict[str, int | float]:
+        """Merged view of all counters (lazy; zero hot counters omitted)."""
+        out: dict[str, int | float] = {}
+        for name in HOT_COUNTERS:
+            value = getattr(self, name)
+            if value:
+                out[name] = value
+        out.update(self._extra)
+        return out
+
+    def count(self, name: str, n: "int | float" = 1) -> None:
         """Add ``n`` to counter ``name`` (created at zero on first use)."""
-        self.counters[name] = self.counters.get(name, 0) + n
+        if name in _HOT_SET:
+            setattr(self, name, getattr(self, name) + n)
+        else:
+            extra = self._extra
+            extra[name] = extra.get(name, 0) + n
+
+    def note_decision(self, seconds: float) -> None:
+        """Record one admission-decision latency sample (the hot stream).
+
+        Equivalent to ``observe("decision", seconds)`` but touches only
+        slotted state: one float add and one list append per decision.
+        """
+        self.decision_total_s += seconds
+        self._decision_samples.append(seconds)
 
     def observe(self, name: str, seconds: float) -> None:
         """Record one wall-time latency sample under ``name``."""
+        if name == "decision":
+            self.decision_total_s += seconds
+            self._decision_samples.append(seconds)
+            return
         self.timings[name] = self.timings.get(name, 0.0) + seconds
         self.latencies.setdefault(name, []).append(seconds)
 
@@ -137,15 +207,22 @@ class PerfRecorder:
     def snapshot(self) -> dict[str, float | int]:
         """Flat summary: counters, total seconds, and latency percentiles.
 
-        Latency streams contribute ``<name>_s`` (total), ``<name>_count``,
-        ``<name>_p50_us`` and ``<name>_p95_us`` (microseconds — decision
-        latencies are far below a millisecond).
+        Assembled lazily from the slotted state (hot counters appear only
+        once nonzero).  Latency streams contribute ``<name>_s`` (total),
+        ``<name>_count``, ``<name>_p50_us`` and ``<name>_p95_us``
+        (microseconds — decision latencies are far below a millisecond).
         """
-        out: dict[str, float | int] = dict(self.counters)
+        out: dict[str, float | int] = self.counters
         for name, total in self.timings.items():
             out[f"{name}_s"] = total
         for name, samples in self.latencies.items():
             out[f"{name}_count"] = len(samples)
             out[f"{name}_p50_us"] = percentile(samples, 50) * 1e6
             out[f"{name}_p95_us"] = percentile(samples, 95) * 1e6
+        samples = self._decision_samples
+        if samples:
+            out["decision_s"] = self.decision_total_s
+            out["decision_count"] = len(samples)
+            out["decision_p50_us"] = percentile(samples, 50) * 1e6
+            out["decision_p95_us"] = percentile(samples, 95) * 1e6
         return out

@@ -46,8 +46,12 @@ __all__ = [
 #: malleability — SweepConfig gained ``resize_policy``/``reconfig_cost``/
 #: ``reconfig_cost_per_proc``, the resilience block gained the resize
 #: ledger, and the renegotiation driver's overrun bookkeeping fixes
-#: changed perturbed-run outcomes.
-KEY_VERSION = 3
+#: changed perturbed-run outcomes.  v4: the scan ``backend`` (including
+#: the new ``"adaptive"`` choice) and the ``prune`` switch joined the
+#: serialized config.  Decisions are backend-identical, but RunMetrics
+#: now carries backend-dependent perf/autotune telemetry, so configs
+#: differing only in backend must not share a cache slot.
+KEY_VERSION = 4
 
 
 def canonical_json(obj: object) -> str:
@@ -119,6 +123,8 @@ def sweep_config_to_dict(config: SweepConfig) -> dict[str, object]:
         "resize_policy": config.resize_policy.value,
         "reconfig_cost": config.reconfig_cost,
         "reconfig_cost_per_proc": config.reconfig_cost_per_proc,
+        "backend": config.backend,
+        "prune": config.prune,
     }
 
 
@@ -142,6 +148,9 @@ def sweep_config_from_dict(data: Mapping[str, object]) -> SweepConfig:
             reconfig_cost_per_proc=float(
                 data.get("reconfig_cost_per_proc", 0.0)  # type: ignore[arg-type]
             ),
+            # Absent in pre-v4 payloads: auto backend, pruning on.
+            backend=str(data.get("backend", "auto")),
+            prune=bool(data.get("prune", True)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise ConfigurationError(f"malformed sweep-config payload: {exc}") from exc

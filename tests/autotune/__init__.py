@@ -1,0 +1,1 @@
+"""Tests for the self-tuning scan-backend controller."""

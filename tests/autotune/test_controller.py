@@ -1,0 +1,252 @@
+"""Unit tests of :class:`repro.autotune.AdaptiveController`.
+
+These exercise the controller against a real
+:class:`~repro.core.profile.AvailabilityProfile` (the counters it reads
+are the always-on :class:`~repro.perf.ProfileStats`), but in isolation
+from the arbitrator: regime classification, hysteresis (confirmation
+streaks + dwell), the asymmetric tree entry/exit criterion, the forced
+switch schedule hook, lifecycle across capacity swaps, and telemetry.
+Decision-identity under switching is covered by
+``test_switch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.autotune import SWITCHABLE_BACKENDS, AdaptiveController, AutotuneConfig
+from repro.core import kernels
+from repro.core.first_fit import earliest_fit
+from repro.core.profile import (
+    AvailabilityProfile,
+    KERNEL_MIN_SEGMENTS,
+    VECTOR_MIN_SEGMENTS,
+)
+from repro.errors import ConfigurationError
+
+
+def _fragmented_profile(n_segments: int, capacity: int = 64) -> AvailabilityProfile:
+    profile = AvailabilityProfile(capacity, backend="adaptive")
+    for i in range(n_segments):
+        profile.reserve(float(i), float(i) + 1.0, 1 + (i % 3))
+    return profile
+
+
+def _probe(profile: AvailabilityProfile, n: int, procs: int = 1) -> None:
+    """Drive ``n`` query-only probes through the adaptive scan path."""
+    for _ in range(n):
+        earliest_fit(profile, procs, 1.0, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# Config validation
+# ---------------------------------------------------------------------------
+
+
+def test_config_rejects_bad_knobs():
+    with pytest.raises(ConfigurationError):
+        AutotuneConfig(eval_interval=0)
+    with pytest.raises(ConfigurationError):
+        AutotuneConfig(confirm=0)
+    with pytest.raises(ConfigurationError):
+        AutotuneConfig(min_dwell=-1)
+    with pytest.raises(ConfigurationError):
+        AutotuneConfig(ewma_alpha=0.0)
+    with pytest.raises(ConfigurationError):
+        AutotuneConfig(ewma_alpha=1.5)
+
+
+def test_controller_rejects_bad_initial_backend():
+    with pytest.raises(ConfigurationError):
+        AdaptiveController(initial="auto")
+    with pytest.raises(ConfigurationError):
+        AdaptiveController(initial="adaptive")
+
+
+def test_switchable_backends_are_concrete():
+    assert "auto" not in SWITCHABLE_BACKENDS
+    assert "adaptive" not in SWITCHABLE_BACKENDS
+
+
+# ---------------------------------------------------------------------------
+# Regime classification
+# ---------------------------------------------------------------------------
+
+
+def test_small_profile_stays_scalar():
+    profile = _fragmented_profile(50)
+    _probe(profile, 200)
+    assert profile.autotune.current == "scalar"
+    assert profile.autotune.switches == 0
+
+
+def test_large_profile_leaves_scalar():
+    profile = _fragmented_profile(3000)
+    _probe(profile, 300)
+    controller = profile.autotune
+    assert controller.current != "scalar"
+    expected = (
+        "kernel" if kernels.kernel_backend() == "compiled" else "vector"
+    )
+    # Shallow probes (they hit the first gap) never justify the tree.
+    assert controller.current == expected
+    assert controller.switches >= 1
+
+
+def test_query_dominated_deep_probes_enter_tree():
+    profile = _fragmented_profile(2000, capacity=8)
+    # Probes demanding more processors than any backlog segment offers
+    # must scan deep before finding the post-backlog gap: the depth
+    # signal exceeds tree_min_depth and mutations are zero.
+    for _ in range(300):
+        earliest_fit(profile, 8, 1.0, 0.0)
+    assert profile.autotune.current == "tree"
+
+
+def test_tree_exit_is_mutation_driven_not_depth_driven():
+    profile = _fragmented_profile(2000, capacity=8)
+    for _ in range(300):
+        earliest_fit(profile, 8, 1.0, 0.0)
+    controller = profile.autotune
+    assert controller.current == "tree"
+    switches_at_entry = controller.switches
+    # On the tree, probe_segments counts visited tree nodes — depth
+    # collapses to O(log S).  More query-only probes must NOT bounce the
+    # controller off the tree (the asymmetric-hysteresis regression).
+    for _ in range(600):
+        earliest_fit(profile, 8, 1.0, 0.0)
+    assert controller.current == "tree"
+    assert controller.switches == switches_at_entry
+    # A mutation-heavy window does evict the tree.
+    t = float(len(profile) + 100)
+    for i in range(600):
+        profile.reserve(t + i, t + i + 1.0, 1)
+        earliest_fit(profile, 8, 1.0, 0.0)
+    assert controller.current != "tree"
+
+
+def test_hysteresis_confirmation_and_dwell():
+    config = AutotuneConfig(eval_interval=8, confirm=3, min_dwell=64)
+    controller = AdaptiveController(config)
+    profile = AvailabilityProfile(64, backend="adaptive")
+    profile.adopt_autotune(controller)
+    for i in range(3000):
+        profile.reserve(float(i), float(i) + 1.0, 1 + (i % 3))
+    # One full evaluation window with a non-scalar target is not enough:
+    # confirm=3 windows must agree before the switch commits.
+    for _ in range(2 * 8):
+        earliest_fit(profile, 1, 1.0, 0.0)
+    assert controller.current == "scalar"
+    for _ in range(4 * 8):
+        earliest_fit(profile, 1, 1.0, 0.0)
+    assert controller.current != "scalar"
+    # After the switch the dwell floor holds even if the target flips.
+    switched_at = profile.stats.probes
+    assert controller.switch_log[-1][0] <= switched_at
+    assert controller.switches == 1
+
+
+def test_latency_spike_forces_early_reevaluation():
+    config = AutotuneConfig(eval_interval=1000, confirm=1)
+    controller = AdaptiveController(config)
+    for _ in range(50):
+        controller.observe_decision(1e-5)
+    baseline = controller._eval_probes
+    controller.observe_decision(1e-2)  # 1000x the EWMA
+    assert controller._eval_probes == baseline - config.eval_interval
+    assert controller.decision_ewma_s > 1e-5
+
+
+def test_observe_batch_amortizes_per_job():
+    controller = AdaptiveController()
+    controller.observe_batch(10, 1e-3)
+    assert controller.decisions == 1
+    assert controller.decision_ewma_s == pytest.approx(1e-4)
+    controller.observe_batch(0, 1.0)  # empty batch is a no-op
+    assert controller.decisions == 1
+
+
+# ---------------------------------------------------------------------------
+# Forced schedules and lifecycle
+# ---------------------------------------------------------------------------
+
+
+def test_forced_schedule_round_robins_per_query():
+    controller = AdaptiveController()
+    profile = AvailabilityProfile(4, backend="adaptive")
+    profile.adopt_autotune(controller)
+    controller.force_backends(("tree", "scalar", "kernel"))
+    served = [controller.backend_for(profile) for _ in range(7)]
+    assert served == [
+        "tree", "scalar", "kernel", "tree", "scalar", "kernel", "tree"
+    ]
+    controller.force_backends(())  # restore adaptive operation
+    assert controller.forced is None
+    assert controller.backend_for(profile) == controller.current
+
+
+def test_forced_schedule_rejects_unknown_backend():
+    controller = AdaptiveController()
+    with pytest.raises(ConfigurationError):
+        controller.force_backends(("scalar", "auto"))
+
+
+def test_adopt_autotune_requires_adaptive_profile():
+    profile = AvailabilityProfile(4, backend="scalar")
+    with pytest.raises(ConfigurationError):
+        profile.adopt_autotune(AdaptiveController())
+
+
+def test_controller_survives_capacity_swap_rebind():
+    profile = _fragmented_profile(3000)
+    _probe(profile, 300)
+    controller = profile.autotune
+    chosen = controller.current
+    assert chosen != "scalar"
+    # Capacity event: fresh profile, transplanted controller (what
+    # QoSArbitrator.adopt_schedule does).  Choice and history survive;
+    # the evaluation window re-baselines onto the new counters.
+    fresh = AvailabilityProfile(32, backend="adaptive")
+    fresh.adopt_autotune(controller)
+    assert fresh.autotune is controller
+    assert controller.current == chosen
+    assert fresh.scan_backend() == chosen
+
+
+def test_stats_reset_rebases_instead_of_stalling():
+    profile = _fragmented_profile(3000)
+    _probe(profile, 300)
+    controller = profile.autotune
+    profile.stats.reset()
+    # delta < 0 must re-baseline, after which evaluation resumes.
+    _probe(profile, 300)
+    assert controller.evals > 0
+    assert controller.current in SWITCHABLE_BACKENDS
+
+
+def test_copy_gets_fresh_controller_with_same_choice():
+    profile = _fragmented_profile(3000)
+    _probe(profile, 300)
+    clone = profile.copy()
+    assert clone.backend == "adaptive"
+    assert clone.autotune is not profile.autotune
+    assert clone.autotune.current == profile.autotune.current
+
+
+# ---------------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------------
+
+
+def test_snapshot_keys_and_switch_log():
+    profile = _fragmented_profile(3000)
+    _probe(profile, 300)
+    controller = profile.autotune
+    snap = controller.snapshot()
+    assert snap["autotune_backend"] == controller.current
+    assert snap["autotune_switches"] == controller.switches
+    assert snap["autotune_evals"] == controller.evals
+    assert controller.switch_log, "expected at least one committed switch"
+    probes, src, dst = controller.switch_log[0]
+    assert src == "scalar" and dst == controller.current
+    assert probes > 0

@@ -1,0 +1,130 @@
+"""Property: backend-switch schedules are decision-invisible.
+
+The tentpole's safety argument — the adaptive controller may consume
+nondeterministic wall-clock signals because every reachable switch
+sequence yields bit-identical decisions — is pinned here as a hypothesis
+property over random workloads and random *forced* switch schedules,
+including the worst case of a different back-end for every single
+profile query.  Coverage spans rigid and malleable (commit/rollback-
+heavy) workloads, and the resilience driver's capacity-fault
+interleavings where the controller is transplanted across schedule
+rebuilds mid-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, strategies as st
+
+from repro.autotune import SWITCHABLE_BACKENDS
+from repro.resilience.events import FaultModel
+from repro.verify.fuzz import random_case, run_case, switch_failures
+from repro.workloads.sweep import SweepConfig, run_point
+
+import random
+
+
+def _case(seed: int, malleable: bool):
+    return random_case(
+        random.Random(seed), max_jobs=6, malleable=malleable
+    )
+
+
+switch_schedules = st.lists(
+    st.sampled_from(SWITCHABLE_BACKENDS), min_size=1, max_size=8
+).map(tuple)
+
+
+@given(seed=st.integers(0, 2**32 - 1), schedule=switch_schedules,
+       malleable=st.booleans())
+def test_any_forced_switch_schedule_matches_every_static_backend(
+    seed, schedule, malleable
+):
+    """Random schedules (incl. per-query switching via 1-cycles and long
+    mixed cycles) replay bit-identical to every static back-end."""
+    case = _case(seed, malleable)
+    switched, audit_fails = run_case(
+        case, backend="adaptive", forced_switches=schedule
+    )
+    assert not audit_fails
+    for backend in SWITCHABLE_BACKENDS:
+        static, _ = run_case(case, backend=backend, audit=False)
+        assert switched == static, (
+            f"forced schedule {schedule} diverged from static {backend} "
+            f"on case {case.case_id}"
+        )
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+def test_unforced_adaptive_matches_scalar_on_rollback_heavy_cases(seed):
+    """The controller's own (signal-driven) switching is also invisible —
+    on malleable cases, whose shrink search is commit/rollback heavy."""
+    case = _case(seed, malleable=True)
+    adaptive, audit_fails = run_case(case, backend="adaptive")
+    assert not audit_fails
+    static, _ = run_case(case, backend="scalar", audit=False)
+    assert adaptive == static
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+def test_switch_failures_check_is_clean_on_random_cases(seed):
+    """The fuzz harness's own adversarial-switch check finds nothing on
+    healthy code (it is wired into every check_case call)."""
+    case = _case(seed, malleable=seed % 3 == 0)
+    assert switch_failures(case) == []
+
+
+def _fault_metrics(backend: str) -> dict:
+    config = SweepConfig(
+        n_jobs=60,
+        seed=7,
+        malleable=True,
+        backend=backend,
+        faults=FaultModel(
+            fault_rate=0.02,
+            fault_severity=0.3,
+            mean_repair=20.0,
+            overrun_prob=0.1,
+            overrun_excess=0.25,
+            burst_rate=0.005,
+            burst_size=4,
+        ),
+    )
+    return run_point(config, "tunable").as_dict()
+
+
+def test_adaptive_identical_to_scalar_across_capacity_faults():
+    """Full resilient simulation (capacity drops/repairs, overruns,
+    bursts): the adaptive run — controller transplanted across every
+    capacity-event schedule rebuild — matches the static scalar run on
+    every decision-derived metric (perf/wall-clock telemetry aside)."""
+    adaptive = _fault_metrics("adaptive")
+    scalar = _fault_metrics("scalar")
+    skip = ("perf", "wall")
+    keys = [
+        k
+        for k in adaptive
+        if not any(s in k for s in skip)
+    ]
+    assert keys, "expected decision-derived metrics to compare"
+    for k in keys:
+        assert adaptive[k] == scalar[k], f"metric {k} diverged"
+
+
+def test_adaptive_identical_to_scalar_with_faults_and_rigid_jobs():
+    config = SweepConfig(
+        n_jobs=50,
+        seed=11,
+        backend="adaptive",
+        faults=FaultModel(fault_rate=0.03, fault_severity=0.4,
+                          mean_repair=15.0),
+    )
+    adaptive = run_point(config, "shape1").as_dict()
+    scalar = run_point(
+        dataclasses.replace(config, backend="scalar"), "shape1"
+    ).as_dict()
+    for k in adaptive:
+        if "perf" in k or "wall" in k:
+            continue
+        assert adaptive[k] == scalar[k], f"metric {k} diverged"

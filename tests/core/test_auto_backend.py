@@ -9,7 +9,16 @@ exactly the bug this file pins closed: at every committed fragmentation
 point, the back-end :func:`resolve_auto_backend` selects must not be the
 worst-measured one.
 
-The test reads the committed benchmark report, so regenerating
+Since PR 9 the resolver also considers the compiled C kernel: the
+committed serial decision-throughput data shows the kernel path loses to
+pure Python at 100 live segments (fixed ctypes marshalling cost) but
+wins by 1000, so ``"auto"`` routes to ``"kernel"`` from
+``KERNEL_MIN_SEGMENTS`` up — *only* when the compiled library actually
+loaded (``kernel_compiled``); with the numpy fallback active the kernel
+path is just a slower vector scan, so the resolver falls back to the
+scalar/vector split.
+
+The tests read the committed benchmark report, so regenerating
 ``BENCH_sched.json`` on a machine with a different crossover will flag
 the heuristic for re-tuning rather than silently shipping a bad
 default.
@@ -22,8 +31,10 @@ from pathlib import Path
 
 import pytest
 
+from repro.core import kernels
 from repro.core.profile import (
     AvailabilityProfile,
+    KERNEL_MIN_SEGMENTS,
     VECTOR_MIN_SEGMENTS,
     resolve_auto_backend,
 )
@@ -31,28 +42,34 @@ from repro.core.profile import (
 _BENCH = Path(__file__).resolve().parents[2] / "BENCH_sched.json"
 
 
-def _fragmentation_points():
+def _report():
     if not _BENCH.exists():  # fresh checkout before any bench run
         pytest.skip("no committed BENCH_sched.json")
-    report = json.loads(_BENCH.read_text())
-    return report["fragmentation"]["points"]
+    return json.loads(_BENCH.read_text())
+
+
+def _fragmentation_points():
+    return _report()["fragmentation"]["points"]
 
 
 def test_auto_is_never_the_worst_backend_on_committed_points():
     for point in _fragmentation_points():
         segments = point["segments"]
-        p50 = {
-            name: data["p50_us"]
-            for name, data in point["backends"].items()
-            if name in ("scalar", "vector")  # the pool auto picks from
-        }
-        choice = resolve_auto_backend(segments)
-        worst = max(p50, key=p50.get)
-        assert choice in p50
-        assert choice != worst or len(set(p50.values())) == 1, (
-            f"auto resolves to {choice} at {segments} segments but the "
-            f"committed p50s are {p50} — re-tune VECTOR_MIN_SEGMENTS"
-        )
+        for compiled, pool in ((False, ("scalar", "vector")),
+                               (True, ("scalar", "vector", "kernel"))):
+            p50 = {
+                name: data["p50_us"]
+                for name, data in point["backends"].items()
+                if name in pool
+            }
+            choice = resolve_auto_backend(segments, kernel_compiled=compiled)
+            worst = max(p50, key=p50.get)
+            assert choice in p50
+            assert choice != worst or len(set(p50.values())) == 1, (
+                f"auto (kernel_compiled={compiled}) resolves to {choice} at "
+                f"{segments} segments but the committed p50s are {p50} — "
+                f"re-tune VECTOR_MIN_SEGMENTS/KERNEL_MIN_SEGMENTS"
+            )
 
 
 def test_crossover_is_between_committed_loss_and_win_points():
@@ -73,11 +90,73 @@ def test_crossover_is_between_committed_loss_and_win_points():
         assert VECTOR_MIN_SEGMENTS <= min(wins)
 
 
+def test_kernel_crossover_is_between_committed_throughput_points():
+    """KERNEL_MIN_SEGMENTS sits inside the bracket the committed serial
+    decision-throughput data establishes: the compiled kernel loses to
+    pure Python at the backlog size where ``serial-python`` out-ran
+    ``serial-kernel`` and wins where the order flips."""
+    report = _report()
+    throughput = report.get("decision_throughput")
+    if not throughput:
+        pytest.skip("no committed decision_throughput section")
+    losses, wins = [], []
+    for point in throughput["points"]:
+        modes = point["modes"]
+        if "serial-python" not in modes or "serial-kernel" not in modes:
+            continue
+        python_rate = modes["serial-python"]["decisions_per_sec"]
+        kernel_rate = modes["serial-kernel"]["decisions_per_sec"]
+        if kernel_rate < python_rate:
+            losses.append(point["segments"])
+        else:
+            wins.append(point["segments"])
+    if losses:
+        assert KERNEL_MIN_SEGMENTS > max(
+            s for s in losses if not wins or s < min(wins)
+        )
+    if wins:
+        assert KERNEL_MIN_SEGMENTS <= min(wins)
+
+
 def test_resolver_thresholds():
-    assert resolve_auto_backend(0) == "scalar"
-    assert resolve_auto_backend(VECTOR_MIN_SEGMENTS - 1) == "scalar"
-    assert resolve_auto_backend(VECTOR_MIN_SEGMENTS) == "vector"
-    assert resolve_auto_backend(10 * VECTOR_MIN_SEGMENTS) == "vector"
+    # Without the compiled kernel: the original scalar/vector split.
+    assert resolve_auto_backend(0, kernel_compiled=False) == "scalar"
+    assert (
+        resolve_auto_backend(VECTOR_MIN_SEGMENTS - 1, kernel_compiled=False)
+        == "scalar"
+    )
+    assert (
+        resolve_auto_backend(VECTOR_MIN_SEGMENTS, kernel_compiled=False)
+        == "vector"
+    )
+    assert (
+        resolve_auto_backend(10 * VECTOR_MIN_SEGMENTS, kernel_compiled=False)
+        == "vector"
+    )
+    # With the compiled kernel loaded: kernel from KERNEL_MIN_SEGMENTS up.
+    assert resolve_auto_backend(0, kernel_compiled=True) == "scalar"
+    assert (
+        resolve_auto_backend(KERNEL_MIN_SEGMENTS - 1, kernel_compiled=True)
+        == "scalar"
+    )
+    assert (
+        resolve_auto_backend(KERNEL_MIN_SEGMENTS, kernel_compiled=True)
+        == "kernel"
+    )
+    assert (
+        resolve_auto_backend(10 * VECTOR_MIN_SEGMENTS, kernel_compiled=True)
+        == "kernel"
+    )
+    # The kernel threshold lives below the vector one: by the time the
+    # vector scan starts paying for itself the kernel already wins.
+    assert KERNEL_MIN_SEGMENTS < VECTOR_MIN_SEGMENTS
+
+
+def test_resolver_default_asks_kernel_layer():
+    compiled = kernels.kernel_backend() == "compiled"
+    assert resolve_auto_backend(VECTOR_MIN_SEGMENTS) == resolve_auto_backend(
+        VECTOR_MIN_SEGMENTS, kernel_compiled=compiled
+    )
 
 
 def test_profile_scan_backend_follows_resolver():
@@ -85,4 +164,8 @@ def test_profile_scan_backend_follows_resolver():
     assert profile.scan_backend() == resolve_auto_backend(1) == "scalar"
     for i in range(VECTOR_MIN_SEGMENTS + 1):
         profile.reserve(2.0 * i, 2.0 * i + 1.0, 1)
-    assert profile.scan_backend() == "vector"
+    # Above both thresholds "auto" resolves to kernel when compiled,
+    # vector otherwise — the profile must agree with the resolver either
+    # way.
+    assert profile.scan_backend() == resolve_auto_backend(len(profile))
+    assert profile.scan_backend() in ("vector", "kernel")

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Nightly adversarial-switch campaign: back-end switching under rotation.
+
+The adaptive controller's safety argument is that *any* switch sequence
+is decision-invisible, so this campaign hammers exactly that surface:
+random workloads (rigid and malleable) run under ``backend="adaptive"``
+with the controller pinned to randomized forced switch schedules —
+including per-query single-backend cycles and long mixed cycles — and
+every digest must match every static back-end's.  The fixed schedules of
+the differential fuzzer (:data:`repro.verify.fuzz._SWITCH_SCHEDULES`)
+ride along, so the PR-gate surface is a strict subset of the nightly one.
+
+A failing case is delta-debugged to a locally minimal reproducer and
+persisted (same corpus format the differential fuzzer uses), so the fix
+lands in ``tests/corpus/`` and replays forever.
+
+    PYTHONPATH=src python tools/switch_campaign.py --seeds 20 --base-seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.autotune import SWITCHABLE_BACKENDS  # noqa: E402
+from repro.verify.fuzz import (  # noqa: E402
+    FuzzCase,
+    persist_failure,
+    random_case,
+    run_case,
+    shrink,
+    switch_failures,
+)
+
+#: Cases fuzzed per seed (each case runs every schedule x every back-end).
+CASES_PER_SEED = 10
+#: Randomized forced schedules tried per case, on top of the fixed set.
+SCHEDULES_PER_CASE = 3
+
+
+def _random_schedule(rng: random.Random) -> tuple[str, ...]:
+    """A forced switch schedule: 1 (per-query pin) to 8 entries."""
+    return tuple(
+        rng.choice(SWITCHABLE_BACKENDS) for _ in range(rng.randint(1, 8))
+    )
+
+
+def _schedule_failures(
+    case: FuzzCase, schedule: tuple[str, ...]
+) -> list[str]:
+    """Digest of one forced schedule vs every static back-end."""
+    failures: list[str] = []
+    switched, audit_fails = run_case(
+        case, backend="adaptive", forced_switches=schedule
+    )
+    failures.extend(audit_fails)
+    for backend in SWITCHABLE_BACKENDS:
+        static, _ = run_case(case, backend=backend, audit=False)
+        if switched != static:
+            failures.append(
+                f"forced schedule {'/'.join(schedule)} != static {backend}"
+            )
+    return failures
+
+
+def check_seed(seed: int, reproducers: Path | None) -> list[str]:
+    rng = random.Random(seed)
+    failures: list[str] = []
+    for _ in range(CASES_PER_SEED):
+        case = random_case(rng, max_jobs=6, malleable=rng.random() < 0.5)
+        schedules = [_random_schedule(rng) for _ in range(SCHEDULES_PER_CASE)]
+
+        def case_failures(candidate: FuzzCase) -> list[str]:
+            found = switch_failures(candidate)
+            for schedule in schedules:
+                found += _schedule_failures(candidate, schedule)
+            return found
+
+        whys = case_failures(case)
+        if not whys:
+            continue
+        minimal = shrink(case, lambda c: bool(case_failures(c)))
+        whys = case_failures(minimal) or whys
+        failures += [f"seed {seed} case {minimal.case_id}: {w}" for w in whys]
+        if reproducers is not None:
+            path = persist_failure(minimal, whys, reproducers)
+            print(f"  reproducer: {path}")
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=20)
+    parser.add_argument("--base-seed", type=int, default=0)
+    parser.add_argument(
+        "--reproducers",
+        type=Path,
+        default=None,
+        help="persist shrunk failing cases into DIR (corpus format)",
+    )
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    for i in range(args.seeds):
+        failures += check_seed(args.base_seed + i, args.reproducers)
+    print(
+        f"switch campaign: {args.seeds} seed(s) from {args.base_seed}, "
+        f"{args.seeds * CASES_PER_SEED} case(s), {len(failures)} failure(s)"
+    )
+    for failure in failures:
+        print(f"  FAIL {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
